@@ -1,0 +1,91 @@
+// Command goofi-asm assembles thor assembly sources and inspects the
+// resulting images. Workload authors use it to develop programs for the
+// simulated target (paper §3.2).
+//
+//	goofi-asm file.s             assemble, print a listing
+//	goofi-asm -symbols file.s    also print the symbol table
+//	goofi-asm -run file.s        assemble and execute on a fresh target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"goofi/internal/asm"
+	"goofi/internal/thor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("goofi-asm", flag.ContinueOnError)
+	symbols := fs.Bool("symbols", false, "print the symbol table")
+	execute := fs.Bool("run", false, "execute the program on a fresh target")
+	maxSteps := fs.Uint64("max-steps", 1_000_000, "execution step budget with -run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: goofi-asm [-symbols] [-run] file.s")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	for _, seg := range prog.Segments {
+		for i, w := range seg.Words {
+			addr := seg.Addr + uint32(4*i)
+			fmt.Fprintf(out, "%#06x  %08x  %s\n", addr, w, asm.Disassemble(w))
+		}
+	}
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(out, "symbols:")
+		for _, n := range names {
+			fmt.Fprintf(out, "  %-20s %#x\n", n, prog.Symbols[n])
+		}
+	}
+	if !*execute {
+		return nil
+	}
+	cpu, err := thor.New(thor.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for _, seg := range prog.Segments {
+		for i, w := range seg.Words {
+			if err := cpu.WriteWordHost(seg.Addr+uint32(4*i), w); err != nil {
+				return err
+			}
+		}
+	}
+	status := cpu.Run(*maxSteps)
+	fmt.Fprintf(out, "status=%s cycles=%d iterations=%d\n", status, cpu.Cycles(), cpu.Iterations())
+	if d := cpu.Detection(); d != nil {
+		fmt.Fprintf(out, "detection: %s\n", d)
+	}
+	for r := 0; r < thor.NumRegs; r++ {
+		fmt.Fprintf(out, "R%-2d=%08x ", r, cpu.Regs[r])
+		if r%4 == 3 {
+			fmt.Fprintln(out)
+		}
+	}
+	fmt.Fprintf(out, "PC=%#x PSW=%04b\n", cpu.PC, cpu.PSW)
+	return nil
+}

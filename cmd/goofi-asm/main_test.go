@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSource(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAssembleListing(t *testing.T) {
+	path := writeSource(t, `
+start:
+    LDI  R1, 7
+    HALT
+`)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "LDI R1, 7") || !strings.Contains(s, "HALT") {
+		t.Fatalf("listing:\n%s", s)
+	}
+}
+
+func TestAssembleSymbolsAndRun(t *testing.T) {
+	path := writeSource(t, `
+.equ X, 5
+start:
+    LDI  R1, X
+    LDI  R2, X+1
+    HALT
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-symbols", "-run", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "symbols:") || !strings.Contains(s, "X") {
+		t.Fatalf("symbols missing:\n%s", s)
+	}
+	if !strings.Contains(s, "status=halted") {
+		t.Fatalf("execution report missing:\n%s", s)
+	}
+	if !strings.Contains(s, "R1 =00000005") {
+		t.Fatalf("register value missing:\n%s", s)
+	}
+}
+
+func TestRunReportsDetection(t *testing.T) {
+	path := writeSource(t, "TRAP 3\n")
+	var out bytes.Buffer
+	if err := run([]string{"-run", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "detection: assertion") {
+		t.Fatalf("detection missing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := run([]string{"/no/such/file.s"}, &out); err == nil {
+		t.Fatal("unreadable file should fail")
+	}
+	bad := writeSource(t, "FROB R1\n")
+	if err := run([]string{bad}, &out); err == nil {
+		t.Fatal("bad source should fail")
+	}
+}

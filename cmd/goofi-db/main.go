@@ -1,0 +1,140 @@
+// Command goofi-db is a small SQL shell over a GOOFI campaign database —
+// the paper's analysis phase lets users run their own queries against the
+// LoggedSystemState table (§3.4); this is the tool they would do it with.
+//
+//	goofi-db -db camp.db -e "SELECT outcome, COUNT(*) FROM AnalysisResult GROUP BY outcome"
+//	goofi-db -db camp.db            # interactive: one statement per line
+//	goofi-db -db camp.db -dump      # dump the whole database as SQL
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"goofi/internal/sqldb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-db:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("goofi-db", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "database file")
+	exec := fs.String("e", "", "execute one statement and exit")
+	dump := fs.Bool("dump", false, "dump the database as SQL and exit")
+	write := fs.Bool("write", false, "save changes back to the file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" {
+		return fmt.Errorf("-db is required")
+	}
+	db, err := sqldb.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if *write {
+			if err := db.Save(*dbPath); err != nil {
+				fmt.Fprintln(os.Stderr, "goofi-db: save:", err)
+			}
+		}
+	}()
+
+	if *dump {
+		fmt.Fprint(out, db.Dump())
+		return nil
+	}
+	if *exec != "" {
+		return statement(db, *exec, out)
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(out, "goofi-db: one SQL statement per line; .tables lists tables; .quit exits")
+	for {
+		fmt.Fprint(out, "sql> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit" || line == ".exit":
+			return nil
+		case line == ".tables":
+			for _, t := range db.Tables() {
+				fmt.Fprintln(out, " ", t)
+			}
+			continue
+		case line == ".dump":
+			fmt.Fprint(out, db.Dump())
+			continue
+		}
+		if err := statement(db, line, out); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func statement(db *sqldb.DB, sql string, out io.Writer) error {
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(sql)), "SELECT") {
+		rows, err := db.Query(sql)
+		if err != nil {
+			return err
+		}
+		printRows(rows, out)
+		return nil
+	}
+	res, err := db.Exec(sql)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok (%d rows affected)\n", res.RowsAffected)
+	return nil
+}
+
+func printRows(rows *sqldb.Rows, out io.Writer) {
+	widths := make([]int, len(rows.Columns))
+	for i, c := range rows.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(rows.Data))
+	for ri, row := range rows.Data {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if len(s) > 40 {
+				s = s[:37] + "..."
+			}
+			rendered[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range rows.Columns {
+		fmt.Fprintf(out, "%-*s  ", widths[i], c)
+		_ = i
+	}
+	fmt.Fprintln(out)
+	for i := range rows.Columns {
+		fmt.Fprint(out, strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Fprintln(out)
+	for _, row := range rendered {
+		for ci, s := range row {
+			fmt.Fprintf(out, "%-*s  ", widths[ci], s)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(rows.Data))
+}

@@ -1,0 +1,65 @@
+// Command goofi-repro regenerates every reproduction experiment of
+// DESIGN.md (E1–E9): the paper's figures, its §3.4 result taxonomy and the
+// §4 extensions, each printed as a report with built-in shape checks.
+//
+//	goofi-repro            run all experiments
+//	goofi-repro -run E4    run one experiment
+//	goofi-repro -list      list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"goofi/internal/repro"
+)
+
+func main() {
+	if err := runWith(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func runWith(args []string) error {
+	fs := flag.NewFlagSet("goofi-repro", flag.ContinueOnError)
+	only := fs.String("run", "", "run only this experiment (E1..E10)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range repro.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	exps := repro.All()
+	if *only != "" {
+		e, err := repro.Get(strings.ToUpper(*only))
+		if err != nil {
+			return err
+		}
+		exps = []repro.Experiment{e}
+	}
+	failed := 0
+	for _, e := range exps {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout); err != nil {
+			failed++
+			fmt.Printf("%s FAILED: %v\n\n", e.ID, err)
+			continue
+		}
+		fmt.Printf("%s OK (%.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}

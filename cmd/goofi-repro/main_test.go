@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// The experiment bodies are tested in internal/repro; here we only check the
+// command plumbing.
+func TestRunList(t *testing.T) {
+	// -list prints and exits without running experiments.
+	if err := runWith([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith([]string{"-run", "E1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWith([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}

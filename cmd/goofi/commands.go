@@ -1,0 +1,488 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"goofi"
+	"goofi/internal/faultmodel"
+)
+
+// openDB opens the campaign database named by -db.
+func openDB(path string) (*goofi.Database, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-db is required")
+	}
+	return goofi.OpenDatabase(path)
+}
+
+// cmdConfigure implements the configuration phase (§3.1): it registers the
+// simulated Thor-RD target and stores its fault-location inventory.
+func cmdConfigure(args []string) error {
+	fs := flag.NewFlagSet("configure", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	desc := fs.String("desc", "simulated Thor RD target system", "target description")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	ops := goofi.NewThorTarget()
+	if err := goofi.RegisterTarget(db, ops, *desc); err != nil {
+		return err
+	}
+	locs, err := db.FaultLocations(ops.Name())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("configured target %q: %d fault locations across %d scan chains\n",
+		ops.Name(), len(locs), len(ops.Chains()))
+	for _, ci := range ops.Chains() {
+		fmt.Printf("  chain %-18s %5d bits (%d writable)\n", ci.Name, ci.Bits, len(ci.Writable))
+	}
+	return db.Save()
+}
+
+// cmdSetup implements the set-up phase (§3.2, Fig. 6): campaign definition
+// or merging.
+func cmdSetup(args []string) error {
+	fs := flag.NewFlagSet("setup", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	name := fs.String("campaign", "", "campaign name")
+	wl := fs.String("workload", "", "workload name")
+	tech := fs.String("technique", goofi.TechSCIFI, "fault-injection technique")
+	model := fs.String("model", "transient", "fault model")
+	locations := fs.String("locations", "", "fault-location filter")
+	n := fs.Int("n", 100, "number of experiments")
+	seed := fs.Int64("seed", 1, "campaign PRNG seed")
+	tmin := fs.Uint64("tmin", 10, "earliest injection time (instructions)")
+	tmax := fs.Uint64("tmax", 1000, "latest injection time (instructions)")
+	trig := fs.String("trigger", "", "event trigger (scifi-triggered)")
+	detail := fs.Bool("detail", false, "log state after every instruction")
+	notes := fs.String("notes", "", "free-form notes")
+	merge := fs.String("merge", "", "comma-separated campaigns to merge instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-campaign is required")
+	}
+	if *merge != "" {
+		row, err := db.MergeCampaigns(*name, strings.Split(*merge, ",")...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged campaign %q: %d experiments over %q\n",
+			row.CampaignName, row.NExperiments, row.LocationFilter)
+		return db.Save()
+	}
+	w, err := goofi.GetWorkload(*wl)
+	if err != nil {
+		return err
+	}
+	m, err := faultmodel.ParseModel(*model)
+	if err != nil {
+		return err
+	}
+	c := goofi.Campaign{
+		Name:           *name,
+		Workload:       w,
+		Technique:      *tech,
+		Model:          m,
+		LocationFilter: goofi.LocationFilter(*locations),
+		TriggerSpec:    *trig,
+		NExperiments:   *n,
+		Seed:           *seed,
+		InjectMinTime:  *tmin,
+		InjectMaxTime:  *tmax,
+		DetailMode:     *detail,
+		Notes:          *notes,
+	}
+	ops := goofi.NewThorTarget()
+	if err := ops.InitTestCard(); err != nil {
+		return err
+	}
+	if err := c.Validate(ops); err != nil {
+		return err
+	}
+	if err := db.PutCampaign(c.Row(ops.Name())); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %q defined: %d %s experiments on %s (%s faults into %s)\n",
+		c.Name, c.NExperiments, c.Technique, c.Workload.Name, c.Model, c.LocationFilter)
+	return db.Save()
+}
+
+// cmdRun implements the fault-injection phase (§3.3) with the progress
+// output of Fig. 7. SIGINT ends the campaign cleanly after the in-flight
+// experiment.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	name := fs.String("campaign", "", "campaign name")
+	quiet := fs.Bool("quiet", false, "suppress per-experiment progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	row, err := db.GetCampaign(*name)
+	if err != nil {
+		return err
+	}
+	c, err := goofi.CampaignFromRow(row)
+	if err != nil {
+		return err
+	}
+	ops := goofi.NewThorTarget()
+	r := goofi.NewRunner(ops, db, c)
+	if !*quiet {
+		r.OnProgress = func(p goofi.Progress) {
+			fmt.Printf("\r[%-40s] %d/%d  %-40s", bar(p.Done, p.Total, 40), p.Done, p.Total, p.LastOutcome)
+			if p.Done == p.Total {
+				fmt.Println()
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := r.Run(ctx)
+	if err != nil {
+		fmt.Println()
+		// A stopped campaign still saved its completed experiments.
+		if saveErr := db.Save(); saveErr != nil {
+			return saveErr
+		}
+		return err
+	}
+	fmt.Printf("campaign %q complete: %d experiments\n", sum.Campaign, sum.Completed)
+	for reason, count := range sum.Terminations {
+		fmt.Printf("  %-14s %d\n", reason+":", count)
+	}
+	return db.Save()
+}
+
+func bar(done, total, width int) string {
+	if total == 0 {
+		return ""
+	}
+	n := done * width / total
+	return strings.Repeat("=", n) + strings.Repeat(" ", width-n)
+}
+
+// cmdAnalyze implements the analysis phase (§3.4).
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	name := fs.String("campaign", "", "campaign name")
+	genSQL := fs.Bool("gen-sql", false, "print the generated SQL analysis script")
+	byLocation := fs.Int("by-location", 0, "also print the N most critical fault locations")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	rep, err := goofi.Analyze(db, *name)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if *byLocation > 0 {
+		stats, err := goofi.LocationBreakdown(db, *name, goofi.NewThorTarget())
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nmost critical fault locations:")
+		fmt.Print(goofi.FormatLocationTable(stats, *byLocation))
+	}
+	if *genSQL {
+		fmt.Println("\n-- generated analysis script --")
+		fmt.Print(goofi.GenerateAnalysisSQL(*name))
+	}
+	return db.Save()
+}
+
+// cmdTrace reruns an experiment in detail mode and prints the
+// error-propagation report against a detail-mode reference run (§3.3 and the
+// parentExperiment scenario of §2.3).
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	name := fs.String("campaign", "", "campaign name")
+	expName := fs.String("experiment", "", "experiment to rerun in detail mode")
+	limit := fs.Int("limit", 20, "trace lines to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	row, err := db.GetCampaign(*name)
+	if err != nil {
+		return err
+	}
+	c, err := goofi.CampaignFromRow(row)
+	if err != nil {
+		return err
+	}
+	ops := goofi.NewThorTarget()
+	r := goofi.NewRunner(ops, db, c)
+
+	refDetail, err := detailOf(db, r, *name+goofi.RefSuffix)
+	if err != nil {
+		return err
+	}
+	expDetail, err := detailOf(db, r, *expName)
+	if err != nil {
+		return err
+	}
+	pr, err := goofi.ComparePropagation(refDetail, expDetail)
+	if err != nil {
+		return err
+	}
+	fmt.Println("propagation:", pr)
+	fmt.Printf("trace of %s (first %d instructions):\n", *expName, *limit)
+	for i, s := range expDetail.Trace {
+		if i >= *limit {
+			fmt.Printf("  ... %d more\n", len(expDetail.Trace)-i)
+			break
+		}
+		fmt.Printf("  %6d  %#06x  %s\n", s.Cycle, s.PC, s.Disasm)
+	}
+	return db.Save()
+}
+
+// detailOf returns the detail-mode state vector of an experiment, rerunning
+// it if no detail rerun is logged yet.
+func detailOf(db *goofi.Database, r *goofi.Runner, experiment string) (*goofi.StateVector, error) {
+	detailName := experiment + goofi.DetailSuffix
+	row, err := db.GetExperiment(detailName)
+	if err != nil {
+		if detailName, err = r.RerunDetail(experiment); err != nil {
+			return nil, err
+		}
+		if row, err = db.GetExperiment(detailName); err != nil {
+			return nil, err
+		}
+	}
+	return goofi.DecodeStateVector(row.StateVector)
+}
+
+// cmdList prints the database inventory.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	targets, err := db.TargetSystems()
+	if err != nil {
+		return err
+	}
+	fmt.Println("target systems:")
+	for _, t := range targets {
+		ts, err := db.GetTargetSystem(t)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s mem=%dK rom=%dK  %s\n", t, ts.MemSize/1024, ts.ROMSize/1024, ts.Description)
+	}
+	camps, err := db.Campaigns()
+	if err != nil {
+		return err
+	}
+	fmt.Println("campaigns:")
+	for _, cName := range camps {
+		c, err := db.GetCampaign(cName)
+		if err != nil {
+			return err
+		}
+		exps, err := db.Experiments(cName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s %-14s %-10s n=%-5d logged=%d\n",
+			cName, c.Technique, c.Workload, c.NExperiments, len(exps))
+	}
+	return nil
+}
+
+// cmdWorkloads lists the bundled workloads.
+func cmdWorkloads(args []string) error {
+	fs := flag.NewFlagSet("workloads", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range goofi.Workloads() {
+		w, err := goofi.GetWorkload(name)
+		if err != nil {
+			return err
+		}
+		kind := "batch"
+		if !w.TerminatesSelf {
+			kind = fmt.Sprintf("loop ×%d (%s)", w.MaxIterations, w.Env)
+		}
+		fmt.Printf("  %-12s %-10s %s\n", w.Name, kind, w.Description)
+	}
+	return nil
+}
+
+// cmdTechniques lists the registered fault-injection techniques.
+func cmdTechniques(args []string) error {
+	fs := flag.NewFlagSet("techniques", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	desc := map[string]string{
+		goofi.TechSCIFI:           "scan-chain implemented fault injection (breakpoints + TAP shifts)",
+		goofi.TechSCIFICheckpoint: "SCIFI with snapshot/restore of the pre-window prefix",
+		goofi.TechSWIFIPre:        "pre-runtime SWIFI: corrupt the memory image before execution",
+		goofi.TechSWIFIRuntime:    "runtime SWIFI: halt and corrupt memory mid-run",
+		goofi.TechPinLevel:        "pin-level injection on the boundary-scan chain",
+		goofi.TechSCIFITriggered:  "SCIFI injected on an execution event trigger",
+	}
+	for _, name := range goofi.Techniques() {
+		fmt.Printf("  %-18s %s\n", name, desc[name])
+	}
+	return nil
+}
+
+// cmdLocations prints a target's fault-location inventory — the hierarchical
+// list of Fig. 5.
+func cmdLocations(args []string) error {
+	fs := flag.NewFlagSet("locations", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	targetName := fs.String("target", "thor-rd", "target system name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	locs, err := db.FaultLocations(*targetName)
+	if err != nil {
+		return err
+	}
+	if len(locs) == 0 {
+		return fmt.Errorf("target %q has no registered locations; run goofi configure first", *targetName)
+	}
+	lastChain := ""
+	for _, l := range locs {
+		if l.ChainName != lastChain {
+			fmt.Printf("%s\n", l.ChainName)
+			lastChain = l.ChainName
+		}
+		access := "rw"
+		if !l.Writable {
+			access = "ro"
+		}
+		fmt.Printf("  %-34s bits [%d, %d)  %s\n",
+			l.LocationName, l.FirstBit, l.FirstBit+l.Width, access)
+	}
+	return nil
+}
+
+// cmdDelete removes a campaign and its logged experiments.
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	name := fs.String("campaign", "", "campaign to delete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("-campaign is required")
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	if err := db.DeleteCampaign(*name); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %q deleted\n", *name)
+	return db.Save()
+}
+
+// cmdShow decodes and summarises one logged experiment: its plan,
+// termination, and the state-vector differences against the reference run.
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "campaign database file")
+	expName := fs.String("experiment", "", "experiment to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *expName == "" {
+		return fmt.Errorf("-experiment is required")
+	}
+	db, err := openDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	row, err := db.GetExperiment(*expName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment:  %s\n", row.ExperimentName)
+	if row.ParentExperiment != "" {
+		fmt.Printf("parent:      %s\n", row.ParentExperiment)
+	}
+	fmt.Printf("campaign:    %s\n", row.CampaignName)
+	fmt.Printf("data:        %s\n", row.ExperimentData)
+	fmt.Printf("termination: %s", row.TerminationReason)
+	if row.Mechanism != "" {
+		fmt.Printf(" (%s)", row.Mechanism)
+	}
+	fmt.Printf("  cycles=%d iterations=%d\n", row.Cycles, row.Iterations)
+
+	sv, err := goofi.DecodeStateVector(row.StateVector)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state:       %d chains, %d memory words, %d env iterations, %d trace samples\n",
+		len(sv.Chains), len(sv.Memory), len(sv.Env), len(sv.Trace))
+
+	refRow, err := db.GetExperiment(row.CampaignName + goofi.RefSuffix)
+	if err != nil {
+		return nil // no reference (should not happen); plain dump only
+	}
+	refSV, err := goofi.DecodeStateVector(refRow.StateVector)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vs reference: %s\n", sv.DiffSummary(refSV))
+	return nil
+}

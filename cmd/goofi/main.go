@@ -1,0 +1,89 @@
+// Command goofi is the command-line interface of the GOOFI reproduction —
+// the stand-in for the paper's graphical user interface. Its subcommands map
+// onto the four phases of §3:
+//
+//	goofi configure  — configuration phase: register a target system and its
+//	                   fault locations (Fig. 5)
+//	goofi setup      — set-up phase: define or merge campaigns (Fig. 6)
+//	goofi run        — fault-injection phase with a progress display (Fig. 7)
+//	goofi analyze    — analysis phase: outcome classification and coverage
+//	goofi trace      — detail-mode rerun + error-propagation report (§3.3)
+//	goofi list       — inventory of targets, campaigns and experiments
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "configure":
+		return cmdConfigure(rest)
+	case "setup":
+		return cmdSetup(rest)
+	case "run":
+		return cmdRun(rest)
+	case "analyze":
+		return cmdAnalyze(rest)
+	case "trace":
+		return cmdTrace(rest)
+	case "list":
+		return cmdList(rest)
+	case "workloads":
+		return cmdWorkloads(rest)
+	case "techniques":
+		return cmdTechniques(rest)
+	case "locations":
+		return cmdLocations(rest)
+	case "delete":
+		return cmdDelete(rest)
+	case "show":
+		return cmdShow(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `GOOFI — Generic Object-Oriented Fault Injection (Go reproduction)
+
+Usage:
+  goofi configure -db FILE [-desc TEXT]
+  goofi setup     -db FILE -campaign NAME -workload W -technique T
+                  -locations FILTER [-model M] [-n N] [-seed S]
+                  [-tmin C] [-tmax C] [-trigger SPEC] [-detail] [-notes TEXT]
+  goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
+  goofi run       -db FILE -campaign NAME [-quiet]
+  goofi analyze   -db FILE -campaign NAME [-gen-sql]
+  goofi trace     -db FILE -campaign NAME -experiment NAME
+  goofi show      -db FILE -experiment NAME
+  goofi list      -db FILE
+  goofi delete    -db FILE -campaign NAME
+  goofi locations -db FILE [-target NAME]
+  goofi workloads | goofi techniques
+
+Workloads:   bubblesort, matmul, crc16, fib, control
+Techniques:  scifi, scifi-checkpoint, swifi-pre, swifi-runtime, pin-level,
+             scifi-triggered
+Models:      transient | transient-multiple,m=K |
+             intermittent,burst=K,spacing=C | permanent,period=C,stuck=V
+Locations:   chain:<name>[/<field>] and mem:<lo>-<hi>, comma separated
+`)
+}

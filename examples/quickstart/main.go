@@ -1,0 +1,71 @@
+// Quickstart: the complete GOOFI flow in one small program — configure the
+// target, define a campaign, inject faults, analyse the outcomes (the four
+// phases of paper §3).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"goofi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Configuration phase: a simulated Thor-RD target system and an
+	// in-memory campaign database.
+	ops := goofi.NewThorTarget()
+	db, err := goofi.NewMemoryDatabase()
+	if err != nil {
+		return err
+	}
+	if err := goofi.RegisterTarget(db, ops, "quickstart target"); err != nil {
+		return err
+	}
+	fmt.Println("scan chains of the target:")
+	for _, ci := range ops.Chains() {
+		fmt.Printf("  %-18s %5d bits (%d writable)\n", ci.Name, ci.Bits, len(ci.Writable))
+	}
+
+	// Set-up phase: 200 single transient bit-flips into the processor core
+	// (register file, PC, PSW, pipeline latches) while a sort runs.
+	campaign := goofi.Campaign{
+		Name:           "quickstart",
+		Workload:       goofi.MustWorkload("bubblesort"),
+		Technique:      goofi.TechSCIFI,
+		Model:          goofi.Model{Kind: goofi.Transient},
+		LocationFilter: "chain:internal.core",
+		NExperiments:   200,
+		Seed:           42,
+		InjectMinTime:  10,
+		InjectMaxTime:  1400,
+	}
+
+	// Fault-injection phase, with a progress callback (paper Fig. 7).
+	summary, err := goofi.RunCampaign(context.Background(), ops, db, campaign,
+		func(p goofi.Progress) {
+			if p.Done%50 == 0 && p.Done > 0 {
+				fmt.Printf("  %d/%d experiments done, last: %s\n", p.Done, p.Total, p.LastOutcome)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign complete: %d experiments\n\n", summary.Completed)
+
+	// Analysis phase: classify against the reference run (§3.4).
+	report, err := goofi.Analyze(db, "quickstart")
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}

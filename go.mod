@@ -1,0 +1,3 @@
+module goofi
+
+go 1.22

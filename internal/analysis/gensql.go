@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+
+	"goofi/internal/dbase"
+	"goofi/internal/sqldb"
+)
+
+// GenerateSQL emits the SQL analysis script that a GOOFI user would
+// otherwise write by hand (§3.4: "the user must write tailor made scripts or
+// programs that query the database"; §4 lists automating this as an
+// extension). The script aggregates the AnalysisResult classification of one
+// campaign into the paper's result categories.
+func GenerateSQL(campaign string) string {
+	esc := escape(campaign)
+	return fmt.Sprintf(`-- GOOFI generated analysis script for campaign %s
+-- Outcome distribution (paper §3.4 taxonomy)
+SELECT outcome, COUNT(*) AS experiments
+FROM AnalysisResult
+WHERE campaignName = '%s'
+GROUP BY outcome
+ORDER BY outcome;
+
+-- Detected errors per error detection mechanism
+SELECT mechanism, COUNT(*) AS detections
+FROM AnalysisResult
+WHERE campaignName = '%s' AND outcome = 'detected'
+GROUP BY mechanism
+ORDER BY detections DESC, mechanism;
+
+-- Error detection coverage: detected / effective
+SELECT COUNT(*) AS effective
+FROM AnalysisResult
+WHERE campaignName = '%s' AND outcome IN ('detected', 'escaped');
+
+SELECT COUNT(*) AS detected
+FROM AnalysisResult
+WHERE campaignName = '%s' AND outcome = 'detected';
+`, esc, esc, esc, esc, esc)
+}
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// SQLAggregates runs the generated aggregate queries against the campaign
+// database and returns the outcome and per-mechanism counts. Used to verify
+// that the generated SQL reproduces the natively computed Report (experiment
+// E9).
+func SQLAggregates(store *dbase.Store, campaign string) (outcomes, mechanisms map[string]int, err error) {
+	db := store.DB()
+	rows, err := db.Query(
+		"SELECT outcome, COUNT(*) FROM AnalysisResult WHERE campaignName = ? GROUP BY outcome",
+		sqldb.Text(campaign))
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: %w", err)
+	}
+	outcomes = make(map[string]int, rows.Len())
+	for _, r := range rows.Data {
+		outcomes[r[0].Text] = int(r[1].Int)
+	}
+	rows, err = db.Query(
+		"SELECT mechanism, COUNT(*) FROM AnalysisResult WHERE campaignName = ? AND outcome = 'detected' GROUP BY mechanism",
+		sqldb.Text(campaign))
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: %w", err)
+	}
+	mechanisms = make(map[string]int, rows.Len())
+	for _, r := range rows.Data {
+		mechanisms[r[0].Text] = int(r[1].Int)
+	}
+	return outcomes, mechanisms, nil
+}
+
+// CoverageViaSQL computes the error-detection coverage purely in SQL.
+func CoverageViaSQL(store *dbase.Store, campaign string) (float64, error) {
+	row, err := store.DB().QueryRow(
+		`SELECT COUNT(*) FROM AnalysisResult
+		 WHERE campaignName = ? AND outcome IN ('detected', 'escaped')`,
+		sqldb.Text(campaign))
+	if err != nil {
+		return 0, fmt.Errorf("analysis: %w", err)
+	}
+	effective := row[0].Int
+	if effective == 0 {
+		return 0, nil
+	}
+	row, err = store.DB().QueryRow(
+		"SELECT COUNT(*) FROM AnalysisResult WHERE campaignName = ? AND outcome = 'detected'",
+		sqldb.Text(campaign))
+	if err != nil {
+		return 0, fmt.Errorf("analysis: %w", err)
+	}
+	return float64(row[0].Int) / float64(effective), nil
+}

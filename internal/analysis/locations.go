@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goofi/internal/core"
+	"goofi/internal/dbase"
+	"goofi/internal/faultmodel"
+	"goofi/internal/target"
+)
+
+// LocationStats aggregates outcomes per fault location — the "which state
+// elements are critical" analysis that campaigns like the paper's companion
+// studies report (e.g. error coverage per register).
+type LocationStats struct {
+	// Location is the state-element name ("internal.core/R3") for scan
+	// locations or the word address ("mem:0x4000") for memory locations.
+	Location string
+	Total    int
+	// Outcomes maps the analysis outcome labels to counts.
+	Outcomes map[string]int
+}
+
+// Effective returns the count of effective (detected + escaped) errors.
+func (s LocationStats) Effective() int {
+	return s.Outcomes[OutcomeDetected] + s.Outcomes[OutcomeEscaped]
+}
+
+// LocationBreakdown groups a campaign's classified experiments by the state
+// element their (first) injection hit. Classify must have run first; ops is
+// needed to resolve scan bits into element names. Results are sorted by
+// descending effective count, then name.
+func LocationBreakdown(store *dbase.Store, campaign string, ops target.Operations) ([]LocationStats, error) {
+	results, err := store.AnalysisResults(campaign)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("analysis: campaign %s has no analysis results; run Classify first", campaign)
+	}
+	if err := ops.InitTestCard(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	byLoc := map[string]*LocationStats{}
+	for _, res := range results {
+		exp, err := store.GetExperiment(res.ExperimentName)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := core.PlanOfExperiment(exp.ExperimentData)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", res.ExperimentName, err)
+		}
+		if len(plan.Injections) == 0 {
+			continue
+		}
+		name, err := locationName(plan.Injections[0].Loc, ops)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", res.ExperimentName, err)
+		}
+		st, ok := byLoc[name]
+		if !ok {
+			st = &LocationStats{Location: name, Outcomes: map[string]int{}}
+			byLoc[name] = st
+		}
+		st.Total++
+		st.Outcomes[res.Outcome]++
+	}
+	out := make([]LocationStats, 0, len(byLoc))
+	for _, st := range byLoc {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Effective() != out[j].Effective() {
+			return out[i].Effective() > out[j].Effective()
+		}
+		return out[i].Location < out[j].Location
+	})
+	return out, nil
+}
+
+// locationName resolves a location to its element-level display name.
+func locationName(loc faultmodel.Location, ops target.Operations) (string, error) {
+	switch loc.Domain {
+	case faultmodel.DomainScan:
+		name, err := ops.BitName(loc.Chain, loc.Bit)
+		if err != nil {
+			return "", err
+		}
+		// Strip the bit index: "internal.core/R3[17]" -> "internal.core/R3".
+		if open := strings.LastIndexByte(name, '['); open > 0 {
+			name = name[:open]
+		}
+		return name, nil
+	case faultmodel.DomainMemory:
+		return fmt.Sprintf("mem:%#x", loc.Addr), nil
+	default:
+		return "", fmt.Errorf("unknown location domain %v", loc.Domain)
+	}
+}
+
+// FormatLocationTable renders the breakdown as an aligned text table,
+// showing the top n locations (n <= 0 shows all).
+func FormatLocationTable(stats []LocationStats, n int) string {
+	if n <= 0 || n > len(stats) {
+		n = len(stats)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %6s %9s %8s %7s %7s\n",
+		"location", "total", "detected", "escaped", "latent", "overwr")
+	for _, st := range stats[:n] {
+		fmt.Fprintf(&sb, "%-28s %6d %9d %8d %7d %7d\n",
+			st.Location, st.Total,
+			st.Outcomes[OutcomeDetected], st.Outcomes[OutcomeEscaped],
+			st.Outcomes[OutcomeLatent], st.Outcomes[OutcomeOverwritten])
+	}
+	if n < len(stats) {
+		fmt.Fprintf(&sb, "(%d more locations)\n", len(stats)-n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+
+	"goofi/internal/core"
+)
+
+// PropagationReport compares the detail-mode traces of a faulted experiment
+// and its reference run — the error-propagation analysis the paper's detail
+// mode exists for (§3.3: "the detail mode operation is used to produce an
+// execution trace, allowing the error propagation to be analysed in
+// detail").
+type PropagationReport struct {
+	// Diverged is false when the two traces are identical.
+	Diverged bool
+	// FirstCycle and FirstPC locate the first instruction after which the
+	// observable core state differed.
+	FirstCycle uint64
+	FirstPC    uint32
+	// FirstDisasm is the faulted run's instruction at the divergence point.
+	FirstDisasm string
+	// DifferingSamples counts trace records whose core state differs;
+	// ComparedSamples is the number of records compared (the shorter
+	// trace's length).
+	DifferingSamples int
+	ComparedSamples  int
+	// LengthDelta is len(faulted trace) - len(reference trace); a non-zero
+	// value means control flow changed the instruction count.
+	LengthDelta int
+}
+
+// ComparePropagation diffs two detail-mode state vectors.
+func ComparePropagation(ref, faulted *core.StateVector) (PropagationReport, error) {
+	if len(ref.Trace) == 0 || len(faulted.Trace) == 0 {
+		return PropagationReport{}, fmt.Errorf("analysis: propagation analysis needs detail-mode traces")
+	}
+	rep := PropagationReport{LengthDelta: len(faulted.Trace) - len(ref.Trace)}
+	n := len(ref.Trace)
+	if len(faulted.Trace) < n {
+		n = len(faulted.Trace)
+	}
+	rep.ComparedSamples = n
+	for i := 0; i < n; i++ {
+		a, b := ref.Trace[i], faulted.Trace[i]
+		if a.PC != b.PC || !bytes.Equal(a.Core, b.Core) {
+			rep.DifferingSamples++
+			if !rep.Diverged {
+				rep.Diverged = true
+				rep.FirstCycle = b.Cycle
+				rep.FirstPC = b.PC
+				rep.FirstDisasm = b.Disasm
+			}
+		}
+	}
+	if rep.LengthDelta != 0 {
+		rep.Diverged = true
+		if rep.DifferingSamples == 0 && n > 0 {
+			// Identical prefix, then one run stopped (or continued): the
+			// divergence point is the step after the shorter trace's end.
+			longer := faulted.Trace
+			if rep.LengthDelta < 0 {
+				longer = ref.Trace
+			}
+			rep.FirstCycle = longer[n-1].Cycle + 1
+			rep.FirstPC = longer[n-1].PC
+			rep.FirstDisasm = longer[n-1].Disasm
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report.
+func (r PropagationReport) String() string {
+	if !r.Diverged {
+		return fmt.Sprintf("no divergence over %d trace samples", r.ComparedSamples)
+	}
+	if r.DifferingSamples == 0 {
+		if r.LengthDelta < 0 {
+			return fmt.Sprintf("identical until early termination after %d instructions (reference ran %d more)",
+				r.ComparedSamples, -r.LengthDelta)
+		}
+		return fmt.Sprintf("identical prefix of %d instructions, then ran %d instructions longer than the reference",
+			r.ComparedSamples, r.LengthDelta)
+	}
+	return fmt.Sprintf("diverged at cycle %d (pc=%#x, %s); %d/%d samples differ; length delta %+d",
+		r.FirstCycle, r.FirstPC, r.FirstDisasm, r.DifferingSamples, r.ComparedSamples, r.LengthDelta)
+}

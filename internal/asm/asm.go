@@ -1,0 +1,333 @@
+// Package asm implements a two-pass assembler for the thor ISA. GOOFI's
+// workloads (paper §3.2) are written in this assembly language, assembled to
+// memory images, and downloaded to the target by the test card.
+//
+// Syntax overview:
+//
+//	; full-line or trailing comment (also # and //)
+//	.org  0x4000          ; move the location counter
+//	.word 1, 0x2, sym     ; emit 32-bit data words
+//	.space 64             ; reserve zeroed bytes
+//	.equ  N, 16           ; define a constant
+//	loop:                 ; label
+//	    LDI  R1, N        ; immediates: decimal, hex, 'c', symbols
+//	    LD   R2, [R1+4]   ; memory operands: [Rn], [Rn+imm], [Rn-imm]
+//	    ADD  R2, R2, R1
+//	    BNE  loop         ; branch targets: labels or literal word offsets
+//	    RET               ; pseudo-instruction for JR LR
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goofi/internal/thor"
+)
+
+// Segment is a contiguous run of words at a fixed byte address.
+type Segment struct {
+	Addr  uint32
+	Words []uint32
+}
+
+// Program is the output of the assembler.
+type Program struct {
+	// Segments hold the code and data in ascending address order.
+	Segments []Segment
+	// Symbols maps every label and .equ constant to its value.
+	Symbols map[string]uint32
+	// Size is one past the highest byte written.
+	Size uint32
+}
+
+// Error reports an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// WordAt returns the word assembled at the given byte address, if any.
+func (p *Program) WordAt(addr uint32) (uint32, bool) {
+	for _, seg := range p.Segments {
+		end := seg.Addr + uint32(4*len(seg.Words))
+		if addr >= seg.Addr && addr < end && (addr-seg.Addr)%4 == 0 {
+			return seg.Words[(addr-seg.Addr)/4], true
+		}
+	}
+	return 0, false
+}
+
+// Symbol returns the value of a symbol.
+func (p *Program) Symbol(name string) (uint32, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+type line struct {
+	num   int
+	label string
+	op    string   // directive (with dot) or mnemonic, upper-cased
+	args  []string // comma-separated operand texts
+}
+
+type assembler struct {
+	lines   []line
+	symbols map[string]uint32
+	words   map[uint32]uint32 // byte address -> word
+	pc      uint32
+	maxEnd  uint32
+	ops     map[string]thor.Op
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+		words:   make(map[uint32]uint32),
+		ops:     thor.Mnemonics(),
+	}
+	if err := a.scan(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass(false); err != nil { // pass 1: addresses and labels
+		return nil, err
+	}
+	a.pc = 0
+	if err := a.pass(true); err != nil { // pass 2: encoding
+		return nil, err
+	}
+	return a.emit(), nil
+}
+
+// scan splits the source into structured lines.
+func (a *assembler) scan(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		var ln line
+		ln.num = num
+		// Labels: everything up to the first ':' when it precedes any space
+		// in the remaining text.
+		if colon := strings.IndexByte(text, ':'); colon >= 0 {
+			candidate := strings.TrimSpace(text[:colon])
+			if isSymbolName(candidate) {
+				ln.label = candidate
+				text = strings.TrimSpace(text[colon+1:])
+			}
+		}
+		if text != "" {
+			fields := strings.SplitN(text, " ", 2)
+			ln.op = strings.ToUpper(strings.TrimSpace(fields[0]))
+			if len(fields) == 2 {
+				for _, arg := range splitArgs(fields[1]) {
+					ln.args = append(ln.args, strings.TrimSpace(arg))
+				}
+			}
+		}
+		a.lines = append(a.lines, ln)
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\'' {
+			inChar = !inChar
+			continue
+		}
+		if inChar {
+			continue
+		}
+		if c == ';' || c == '#' {
+			return s[:i]
+		}
+		if c == '/' && i+1 < len(s) && s[i+1] == '/' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitArgs splits on commas that are not inside character literals.
+func splitArgs(s string) []string {
+	var (
+		out   []string
+		start int
+	)
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case ',':
+			if !inChar {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func isSymbolName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	// A bare register name cannot be a label.
+	if _, isReg := parseRegName(s); isReg {
+		return false
+	}
+	return true
+}
+
+func (a *assembler) errf(n int, format string, args ...any) error {
+	return &Error{Line: n, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pass walks all lines updating the location counter; when encode is true
+// it also resolves operands and emits machine words.
+func (a *assembler) pass(encode bool) error {
+	for _, ln := range a.lines {
+		if ln.label != "" {
+			if !encode {
+				if _, dup := a.symbols[ln.label]; dup {
+					return a.errf(ln.num, "duplicate symbol %q", ln.label)
+				}
+				a.symbols[ln.label] = a.pc
+			}
+		}
+		if ln.op == "" {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(ln.op, "."):
+			err = a.directive(ln, encode)
+		default:
+			err = a.instruction(ln, encode)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) directive(ln line, encode bool) error {
+	switch ln.op {
+	case ".ORG":
+		if len(ln.args) != 1 {
+			return a.errf(ln.num, ".org takes one argument")
+		}
+		v, err := a.evalConst(ln.num, ln.args[0])
+		if err != nil {
+			return err
+		}
+		if v%4 != 0 {
+			return a.errf(ln.num, ".org address %#x not word-aligned", v)
+		}
+		a.pc = v
+	case ".WORD":
+		if len(ln.args) == 0 {
+			return a.errf(ln.num, ".word needs at least one value")
+		}
+		for _, arg := range ln.args {
+			if encode {
+				v, err := a.evalExpr(ln.num, arg)
+				if err != nil {
+					return err
+				}
+				a.put(ln.num, uint32(v))
+			}
+			a.advance(4)
+		}
+		return nil
+	case ".SPACE":
+		if len(ln.args) != 1 {
+			return a.errf(ln.num, ".space takes one argument")
+		}
+		n, err := a.evalConst(ln.num, ln.args[0])
+		if err != nil {
+			return err
+		}
+		if n%4 != 0 {
+			return a.errf(ln.num, ".space size %d not a multiple of 4", n)
+		}
+		a.advance(n)
+	case ".EQU":
+		if len(ln.args) != 2 {
+			return a.errf(ln.num, ".equ takes name, value")
+		}
+		name := ln.args[0]
+		if !isSymbolName(name) {
+			return a.errf(ln.num, "invalid constant name %q", name)
+		}
+		if !encode {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf(ln.num, "duplicate symbol %q", name)
+			}
+			v, err := a.evalConst(ln.num, ln.args[1])
+			if err != nil {
+				return err
+			}
+			a.symbols[name] = v
+		}
+	default:
+		return a.errf(ln.num, "unknown directive %s", ln.op)
+	}
+	return nil
+}
+
+func (a *assembler) advance(n uint32) {
+	a.pc += n
+	if a.pc > a.maxEnd {
+		a.maxEnd = a.pc
+	}
+}
+
+func (a *assembler) put(num int, w uint32) {
+	a.words[a.pc] = w
+}
+
+// emit groups the sparse word map into contiguous segments.
+func (a *assembler) emit() *Program {
+	addrs := make([]uint32, 0, len(a.words))
+	for addr := range a.words {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	p := &Program{Symbols: a.symbols, Size: a.maxEnd}
+	for _, addr := range addrs {
+		n := len(p.Segments)
+		if n > 0 {
+			seg := &p.Segments[n-1]
+			if seg.Addr+uint32(4*len(seg.Words)) == addr {
+				seg.Words = append(seg.Words, a.words[addr])
+				continue
+			}
+		}
+		p.Segments = append(p.Segments, Segment{Addr: addr, Words: []uint32{a.words[addr]}})
+	}
+	return p
+}

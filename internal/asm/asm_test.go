@@ -1,0 +1,397 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"goofi/internal/thor"
+)
+
+// run assembles src, loads it into a default CPU and runs it.
+func run(t *testing.T, src string, maxSteps uint64) *thor.CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := thor.New(thor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range p.Segments {
+		for i, w := range seg.Words {
+			if err := c.WriteWordHost(seg.Addr+uint32(4*i), w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Run(maxSteps)
+	return c
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	c := run(t, `
+		; compute 6*7 the slow way
+		LDI  R1, 6
+		LDI  R2, 7
+		LDI  R3, 0
+	loop:
+		CMPI R1, 0
+		BEQ  done
+		ADD  R3, R3, R2
+		SUBI R1, R1, 1
+		BRA  loop
+	done:
+		HALT
+	`, 1000)
+	if c.Status() != thor.StatusHalted {
+		t.Fatalf("status = %v (%v)", c.Status(), c.Detection())
+	}
+	if c.Regs[3] != 42 {
+		t.Fatalf("R3 = %d", c.Regs[3])
+	}
+}
+
+func TestAssembleDataAndMemoryOps(t *testing.T) {
+	c := run(t, `
+		LDI  R1, table
+		LD   R2, [R1]        ; 11
+		LD   R3, [R1+4]      ; 22
+		LD   R4, [R1+offset] ; 33
+		LDI  R5, 0x8000
+		ST   R3, [R5+0]
+		LD   R6, [R5]
+		HALT
+	.equ offset, 8
+	.org 0x1000
+	table:
+		.word 11, 22, 33
+	`, 100)
+	if c.Status() != thor.StatusHalted {
+		t.Fatalf("status = %v (%v)", c.Status(), c.Detection())
+	}
+	if c.Regs[2] != 11 || c.Regs[3] != 22 || c.Regs[4] != 33 || c.Regs[6] != 22 {
+		t.Fatalf("regs = %v", c.Regs[:8])
+	}
+}
+
+func TestAssembleCallRet(t *testing.T) {
+	c := run(t, `
+		LDI  R1, 5
+		CALL double
+		CALL double
+		HALT
+	double:
+		ADD  R1, R1, R1
+		RET
+	`, 100)
+	if c.Regs[1] != 20 {
+		t.Fatalf("R1 = %d", c.Regs[1])
+	}
+}
+
+func TestAssembleStackAliases(t *testing.T) {
+	c := run(t, `
+		LDI  R1, 9
+		PUSH R1
+		LDI  R1, 0
+		POP  R2
+		MOV  R3, SP
+		HALT
+	`, 100)
+	if c.Regs[2] != 9 {
+		t.Fatalf("R2 = %d", c.Regs[2])
+	}
+	if c.Regs[3] != thor.DefaultConfig().StackBase {
+		t.Fatalf("SP = %#x", c.Regs[3])
+	}
+}
+
+func TestAssembleCharAndHex(t *testing.T) {
+	c := run(t, `
+		LDI R1, 'A'
+		LDI R2, 0xFF
+		LDI R3, 'A'+1
+		HALT
+	`, 10)
+	if c.Regs[1] != 'A' || c.Regs[2] != 0xFF || c.Regs[3] != 'B' {
+		t.Fatalf("regs = %v", c.Regs[:4])
+	}
+}
+
+func TestAssembleBackwardAndForwardLabels(t *testing.T) {
+	p, err := Assemble(`
+	start:
+		BRA  end
+	mid:
+		NOP
+	end:
+		BEQ  mid
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := p.WordAt(0)
+	if !ok {
+		t.Fatal("no word at 0")
+	}
+	in, err := thor.Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BRA at pc 0 to end at 8: (8 - 4)/4 = 1.
+	if in.Op != thor.OpBRA || in.Imm != 1 {
+		t.Fatalf("instr = %+v", in)
+	}
+	w, _ = p.WordAt(8)
+	in, _ = thor.Decode(w)
+	// BEQ at pc 8 to mid at 4: (4 - 12)/4 = -2.
+	if in.Imm != -2 {
+		t.Fatalf("backward offset = %d", in.Imm)
+	}
+}
+
+func TestAssembleSymbols(t *testing.T) {
+	p, err := Assemble(`
+	.equ N, 10
+	start:
+		LDI R1, N
+		HALT
+	.org 0x2000
+	data:
+		.word N+5, data, start
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Symbol("N"); v != 10 {
+		t.Fatalf("N = %d", v)
+	}
+	if v, _ := p.Symbol("data"); v != 0x2000 {
+		t.Fatalf("data = %#x", v)
+	}
+	if w, _ := p.WordAt(0x2000); w != 15 {
+		t.Fatalf("word = %d", w)
+	}
+	if w, _ := p.WordAt(0x2004); w != 0x2000 {
+		t.Fatalf("word = %#x", w)
+	}
+	if w, _ := p.WordAt(0x2008); w != 0 {
+		t.Fatalf("word = %#x", w)
+	}
+}
+
+func TestAssembleSpace(t *testing.T) {
+	p, err := Assemble(`
+	.org 0x100
+	buf:
+		.space 16
+	after:
+		.word 1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Symbol("after"); v != 0x110 {
+		t.Fatalf("after = %#x", v)
+	}
+	if p.Size != 0x114 {
+		t.Fatalf("size = %#x", p.Size)
+	}
+}
+
+func TestAssembleSegments(t *testing.T) {
+	p, err := Assemble(`
+		NOP
+		HALT
+	.org 0x1000
+		.word 7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	if p.Segments[0].Addr != 0 || len(p.Segments[0].Words) != 2 {
+		t.Fatalf("seg0 = %+v", p.Segments[0])
+	}
+	if p.Segments[1].Addr != 0x1000 || p.Segments[1].Words[0] != 7 {
+		t.Fatalf("seg1 = %+v", p.Segments[1])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	_, err := Assemble(`
+		NOP ; semicolon
+		NOP # hash
+		NOP // slashes
+		LDI R1, ';' ; char literal containing comment char
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"unknown op", "FROB R1", "unknown instruction"},
+		{"bad register", "MOV R16, R1", "expected register"},
+		{"missing operand", "ADD R1, R2", "takes 3 operand"},
+		{"undefined label", "BRA nowhere", "undefined label"},
+		{"undefined symbol", "LDI R1, missing", "undefined symbol"},
+		{"duplicate label", "x:\nNOP\nx:\nNOP", "duplicate symbol"},
+		{"bad org", ".org 3", "not word-aligned"},
+		{"bad directive", ".bogus 1", "unknown directive"},
+		{"bad mem operand", "LD R1, R2", "expected memory operand"},
+		{"imm too big", "LDI R1, 0x100000", "out of range"},
+		{"bad space", ".space 3", "not a multiple of 4"},
+		{"equ missing arg", ".equ N", "takes name, value"},
+		{"ret with args", "RET R1", "no operands"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatalf("assemble(%q) should fail", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.frag) {
+				t.Fatalf("error %q does not mention %q", err, tt.frag)
+			}
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("error is not *Error: %v", err)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("NOP\nNOP\nFROB\n")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Line != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	w, err := thor.Encode(thor.Instr{Op: thor.OpADDI, Rd: 1, Rs: 2, Imm: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Disassemble(w); got != "ADDI R1, R2, -3" {
+		t.Fatalf("disasm = %q", got)
+	}
+	if got := Disassemble(0xEE000000); !strings.HasPrefix(got, ".word") {
+		t.Fatalf("disasm of garbage = %q", got)
+	}
+}
+
+func TestWordAtMisses(t *testing.T) {
+	p, err := Assemble("NOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.WordAt(100); ok {
+		t.Fatal("WordAt(100) should miss")
+	}
+	if _, ok := p.WordAt(2); ok {
+		t.Fatal("unaligned WordAt should miss")
+	}
+}
+
+func TestAssembleIOAndTrap(t *testing.T) {
+	p, err := Assemble(`
+		IOR R1, 2
+		IOW R1, 3
+		TRAP 7
+		SYNC
+		YIELD
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := p.WordAt(8)
+	in, _ := thor.Decode(w)
+	if in.Op != thor.OpTRAP || in.Imm != 7 {
+		t.Fatalf("trap = %+v", in)
+	}
+}
+
+// Round trip: assemble → disassemble → compare mnemonics for a broad program.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := []string{
+		"NOP", "HALT", "MOV R1, R2", "LDI R3, -100", "LUI R4, 15",
+		"ADD R1, R2, R3", "SUB R1, R2, R3", "MUL R1, R2, R3",
+		"DIV R1, R2, R3", "AND R1, R2, R3", "OR R1, R2, R3",
+		"XOR R1, R2, R3", "SHL R1, R2, R3", "SHR R1, R2, R3",
+		"SAR R1, R2, R3", "ADDI R1, R2, 5", "SUBI R1, R2, 5",
+		"CMP R1, R2", "CMPI R1, 5", "LD R1, [R2+4]", "ST R1, [R2-4]",
+		"LDB R1, [R2+1]", "STB R1, [R2+1]", "JR R14", "PUSH R1",
+		"POP R1", "TRAP 3", "IOW R1, 2", "IOR R1, 2", "SYNC", "YIELD",
+	}
+	p, err := Assemble(strings.Join(src, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range src {
+		w, ok := p.WordAt(uint32(4 * i))
+		if !ok {
+			t.Fatalf("no word for %q", want)
+		}
+		got := Disassemble(w)
+		if normalise(got) != normalise(want) {
+			t.Errorf("line %d: %q -> %q", i, want, got)
+		}
+	}
+}
+
+func normalise(s string) string {
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "+", "")
+	return strings.ToUpper(s)
+}
+
+func TestMemOperandWithSymbolOffset(t *testing.T) {
+	c := run(t, `
+.equ BASE, 0x4000
+.equ OFF, 8
+	LDI R1, BASE
+	LDI R2, 77
+	ST  R2, [R1+OFF]
+	LD  R3, [R1+OFF]
+	LD  R4, [R1+OFF-4]
+	HALT
+.org BASE
+	.word 1, 2, 3
+`, 100)
+	if c.Status() != thor.StatusHalted {
+		t.Fatalf("status = %v (%v)", c.Status(), c.Detection())
+	}
+	if c.Regs[3] != 77 {
+		t.Fatalf("R3 = %d", c.Regs[3])
+	}
+	if c.Regs[4] != 2 { // BASE+4 holds 2
+		t.Fatalf("R4 = %d", c.Regs[4])
+	}
+}
+
+func TestNegativeMemOffset(t *testing.T) {
+	c := run(t, `
+	LDI R1, 0x8004
+	LDI R2, 5
+	ST  R2, [R1-4]
+	LD  R3, [R1-4]
+	HALT
+`, 100)
+	if c.Regs[3] != 5 {
+		t.Fatalf("R3 = %d", c.Regs[3])
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"goofi/internal/dbase"
+	"goofi/internal/faultmodel"
+	"goofi/internal/target"
+	"goofi/internal/trigger"
+	"goofi/internal/workload"
+)
+
+// Technique names supported by the engine (§1 and §2.1: SCIFI, pre-runtime
+// SWIFI, plus the extensions: runtime SWIFI, pin-level injection and
+// event-triggered SCIFI).
+const (
+	TechSCIFI           = "scifi"
+	TechSWIFIPre        = "swifi-pre"
+	TechSWIFIRuntime    = "swifi-runtime"
+	TechPinLevel        = "pin-level"
+	TechSCIFITriggered  = "scifi-triggered"
+	TechSCIFICheckpoint = "scifi-checkpoint"
+)
+
+// Campaign is the in-memory form of a CampaignData row with the workload
+// resolved.
+type Campaign struct {
+	Name           string
+	Workload       workload.Spec
+	Technique      string
+	Model          faultmodel.Model
+	LocationFilter faultmodel.Filter
+	// TriggerSpec selects the event trigger for TechSCIFITriggered.
+	TriggerSpec string
+	// NExperiments is the number of faults to inject (paper Fig. 6).
+	NExperiments int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// InjectMinTime and InjectMaxTime bound the sampled injection times in
+	// executed instructions.
+	InjectMinTime uint64
+	InjectMaxTime uint64
+	// DetailMode logs the system state after every instruction (§3.3).
+	DetailMode bool
+	Notes      string
+}
+
+// Row converts the campaign to its CampaignData representation.
+func (c Campaign) Row(targetName string) dbase.CampaignRow {
+	return dbase.CampaignRow{
+		CampaignName:   c.Name,
+		TestCardName:   targetName,
+		Workload:       c.Workload.Name,
+		Technique:      c.Technique,
+		FaultModel:     c.Model.String(),
+		LocationFilter: string(c.LocationFilter),
+		TriggerSpec:    c.TriggerSpec,
+		NExperiments:   c.NExperiments,
+		Seed:           c.Seed,
+		InjectMinTime:  c.InjectMinTime,
+		InjectMaxTime:  c.InjectMaxTime,
+		MaxCycles:      c.Workload.MaxCycles,
+		MaxIterations:  c.Workload.MaxIterations,
+		DetailMode:     c.DetailMode,
+		EnvSimulator:   c.Workload.Env,
+		Notes:          c.Notes,
+	}
+}
+
+// CampaignFromRow rebuilds a campaign from its stored row, resolving the
+// workload by name.
+func CampaignFromRow(r dbase.CampaignRow) (Campaign, error) {
+	w, err := workload.Get(r.Workload)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("core: campaign %s: %w", r.CampaignName, err)
+	}
+	m, err := faultmodel.ParseModel(r.FaultModel)
+	if err != nil {
+		return Campaign{}, fmt.Errorf("core: campaign %s: %w", r.CampaignName, err)
+	}
+	return Campaign{
+		Name:           r.CampaignName,
+		Workload:       w,
+		Technique:      r.Technique,
+		Model:          m,
+		LocationFilter: faultmodel.Filter(r.LocationFilter),
+		TriggerSpec:    r.TriggerSpec,
+		NExperiments:   r.NExperiments,
+		Seed:           r.Seed,
+		InjectMinTime:  r.InjectMinTime,
+		InjectMaxTime:  r.InjectMaxTime,
+		DetailMode:     r.DetailMode,
+		Notes:          r.Notes,
+	}, nil
+}
+
+// Validate checks the campaign against the target it will run on: the
+// technique must exist, the fault model must be sound, and every candidate
+// location must live in a domain the technique can reach.
+func (c Campaign) Validate(ops target.Operations) error {
+	if c.Name == "" {
+		return errors.New("core: campaign needs a name")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+	}
+	if err := c.Model.Validate(); err != nil {
+		return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+	}
+	if c.NExperiments <= 0 {
+		return fmt.Errorf("core: campaign %s: NExperiments must be positive", c.Name)
+	}
+	if c.InjectMaxTime < c.InjectMinTime {
+		return fmt.Errorf("core: campaign %s: injection window [%d,%d] invalid",
+			c.Name, c.InjectMinTime, c.InjectMaxTime)
+	}
+	tech, err := techniqueFor(c.Technique)
+	if err != nil {
+		return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+	}
+	locs, err := c.LocationFilter.Resolve(ops)
+	if err != nil {
+		return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+	}
+	for _, l := range locs {
+		if err := tech.checkLocation(l); err != nil {
+			return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+		}
+	}
+	if c.Technique == TechSCIFICheckpoint {
+		if _, ok := ops.(target.Checkpointer); !ok {
+			return fmt.Errorf("core: campaign %s: target %s cannot checkpoint", c.Name, ops.Name())
+		}
+		if c.DetailMode {
+			return fmt.Errorf("core: campaign %s: detail mode records per-instruction traces from reset and cannot be combined with checkpointing", c.Name)
+		}
+	}
+	if c.Technique == TechSCIFITriggered {
+		if c.TriggerSpec == "" {
+			return fmt.Errorf("core: campaign %s: technique %s needs a trigger", c.Name, c.Technique)
+		}
+		if _, err := trigger.Parse(c.TriggerSpec); err != nil {
+			return fmt.Errorf("core: campaign %s: %w", c.Name, err)
+		}
+		if _, ok := ops.(target.TriggerWaiter); !ok {
+			return fmt.Errorf("core: campaign %s: target %s cannot wait for triggers",
+				c.Name, ops.Name())
+		}
+	}
+	return nil
+}
+
+// Experiment is the outcome of one fault-injection experiment.
+type Experiment struct {
+	Plan faultmodel.Plan
+	// Injected counts the injections actually applied; injections whose
+	// breakpoint fell beyond the workload's execution never happen.
+	Injected int
+	Term     target.Termination
+	State    *StateVector
+}
+
+// Data renders the experimentData column content.
+func (e Experiment) Data() string {
+	return fmt.Sprintf("plan=[%s] injected=%d/%d", e.Plan, e.Injected, len(e.Plan.Injections))
+}
+
+// technique bundles an algorithm with its location-domain constraint.
+type technique struct {
+	name          string
+	run           Algorithm
+	checkLocation func(faultmodel.Location) error
+}
+
+// Algorithm executes one experiment of a technique over the abstract target
+// operations — one of the faultInjector* methods of Fig. 2.
+type Algorithm func(ops target.Operations, c Campaign, plan faultmodel.Plan) (Experiment, error)
+
+var (
+	techMu     sync.RWMutex
+	techniques = map[string]technique{}
+)
+
+// RegisterTechnique installs a new fault-injection technique — the paper's
+// §2.1 extension path ("adding a new fault injection technique to GOOFI").
+// The checkLocation hook constrains which location domains the technique can
+// reach; nil accepts everything.
+func RegisterTechnique(name string, algo Algorithm, checkLocation func(faultmodel.Location) error) error {
+	if name == "" || algo == nil {
+		return errors.New("core: technique needs a name and an algorithm")
+	}
+	techMu.Lock()
+	defer techMu.Unlock()
+	if _, dup := techniques[name]; dup {
+		return fmt.Errorf("core: technique %q already registered", name)
+	}
+	if checkLocation == nil {
+		checkLocation = func(faultmodel.Location) error { return nil }
+	}
+	techniques[name] = technique{name: name, run: algo, checkLocation: checkLocation}
+	return nil
+}
+
+// Techniques lists the registered technique names, sorted.
+func Techniques() []string {
+	techMu.RLock()
+	defer techMu.RUnlock()
+	out := make([]string, 0, len(techniques))
+	for n := range techniques {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func techniqueFor(name string) (technique, error) {
+	RegisterBuiltins() // the shipped techniques are always resolvable
+	techMu.RLock()
+	defer techMu.RUnlock()
+	t, ok := techniques[name]
+	if !ok {
+		return technique{}, fmt.Errorf("core: unknown technique %q (have %v)", name, Techniques())
+	}
+	return t, nil
+}
+
+func scanOnly(l faultmodel.Location) error {
+	if l.Domain != faultmodel.DomainScan {
+		return fmt.Errorf("core: SCIFI can only inject into scan chains, got %s", l)
+	}
+	return nil
+}
+
+func memOnly(l faultmodel.Location) error {
+	if l.Domain != faultmodel.DomainMemory {
+		return fmt.Errorf("core: SWIFI can only inject into memory, got %s", l)
+	}
+	return nil
+}
+
+func pinsOnly(l faultmodel.Location) error {
+	if l.Domain != faultmodel.DomainScan || l.Chain != "boundary.pins" {
+		return fmt.Errorf("core: pin-level injection is restricted to boundary.pins, got %s", l)
+	}
+	return nil
+}
+
+// registerBuiltinTechniques installs the shipped algorithms; guarded so both
+// the facade and tests can call it.
+var registerOnce sync.Once
+
+// RegisterBuiltins installs the built-in techniques. Safe to call multiple
+// times.
+func RegisterBuiltins() {
+	registerOnce.Do(func() {
+		mustRegister(TechSCIFI, faultInjectorSCIFI, scanOnly)
+		mustRegister(TechSWIFIPre, faultInjectorSWIFIPre, memOnly)
+		mustRegister(TechSWIFIRuntime, faultInjectorSWIFIRuntime, memOnly)
+		mustRegister(TechPinLevel, faultInjectorSCIFI, pinsOnly)
+		mustRegister(TechSCIFITriggered, faultInjectorTriggered, scanOnly)
+		mustRegister(TechSCIFICheckpoint, faultInjectorSCIFICheckpoint, scanOnly)
+	})
+}
+
+func mustRegister(name string, algo Algorithm, check func(faultmodel.Location) error) {
+	if err := RegisterTechnique(name, algo, check); err != nil {
+		// Registration of the built-ins cannot collide; reaching this is a
+		// programming error caught immediately by every test.
+		panic(err)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"goofi/internal/dbase"
+	"goofi/internal/target"
+)
+
+// RegisterTarget stores a target system's description and fault-location
+// inventory in the database — the configuration phase of §3.1 (Fig. 5),
+// where the names and positions of the possible fault-injection locations
+// are entered into TargetSystemData.
+//
+// Locations are recorded per named state element (scan-chain field), e.g.
+// "internal.core/R3" with its first bit, width and writability.
+func RegisterTarget(store *dbase.Store, ops target.Operations, description string) error {
+	if err := ops.InitTestCard(); err != nil {
+		return fmt.Errorf("core: register target: %w", err)
+	}
+	mem, rom := ops.MemLayout()
+	ts := dbase.TargetSystem{
+		TestCardName: ops.Name(),
+		Description:  description,
+		MemSize:      mem,
+		ROMSize:      rom,
+	}
+	if err := store.PutTargetSystem(ts); err != nil {
+		return err
+	}
+	var rows []dbase.LocationRow
+	for _, ci := range ops.Chains() {
+		writable := make(map[int]bool, len(ci.Writable))
+		for _, b := range ci.Writable {
+			writable[b] = true
+		}
+		fields, err := chainFields(ops, ci)
+		if err != nil {
+			return err
+		}
+		for _, f := range fields {
+			rows = append(rows, dbase.LocationRow{
+				TestCardName: ops.Name(),
+				LocationName: ci.Name + "/" + f.name,
+				ChainName:    ci.Name,
+				FirstBit:     f.firstBit,
+				Width:        f.width,
+				Writable:     writable[f.firstBit],
+			})
+		}
+	}
+	return store.PutFaultLocations(rows)
+}
+
+type fieldSpan struct {
+	name     string
+	firstBit int
+	width    int
+}
+
+// chainFields reconstructs the chain's field layout from per-bit names
+// ("chain/field[i]"), grouping consecutive bits of the same field.
+func chainFields(ops target.Operations, ci target.ChainInfo) ([]fieldSpan, error) {
+	var (
+		out  []fieldSpan
+		cur  string
+		span fieldSpan
+	)
+	flush := func() {
+		if cur != "" {
+			out = append(out, span)
+		}
+	}
+	for bit := 0; bit < ci.Bits; bit++ {
+		name, err := ops.BitName(ci.Name, bit)
+		if err != nil {
+			return nil, fmt.Errorf("core: chain %s bit %d: %w", ci.Name, bit, err)
+		}
+		rest := strings.TrimPrefix(name, ci.Name+"/")
+		open := strings.LastIndexByte(rest, '[')
+		if open < 0 {
+			return nil, fmt.Errorf("core: malformed bit name %q", name)
+		}
+		field := rest[:open]
+		if field != cur {
+			flush()
+			cur = field
+			span = fieldSpan{name: field, firstBit: bit, width: 1}
+			continue
+		}
+		span.width++
+	}
+	flush()
+	return out, nil
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"goofi/internal/dbase"
+	"goofi/internal/faultmodel"
+	"goofi/internal/target"
+)
+
+// ErrStopped is returned by Run when the campaign was ended through Stop or
+// context cancellation (Fig. 7's "end the campaign" control).
+var ErrStopped = errors.New("core: campaign stopped")
+
+// RefSuffix and DetailSuffix name the special experiment rows.
+const (
+	// RefSuffix is appended to the campaign name for the reference run.
+	RefSuffix = "/ref"
+	// DetailSuffix is appended to an experiment name for its detail-mode
+	// rerun (the parentExperiment scenario of §2.3).
+	DetailSuffix = "/detail"
+)
+
+// Progress is delivered to the progress callback after every experiment —
+// the data behind the paper's progress window (Fig. 7).
+type Progress struct {
+	Campaign string
+	// Done counts completed experiments out of Total.
+	Done, Total int
+	// LastOutcome summarises the most recent experiment's termination.
+	LastOutcome string
+}
+
+// Summary reports a finished (or stopped) campaign.
+type Summary struct {
+	Campaign string
+	// Completed is the number of fault-injection experiments logged.
+	Completed int
+	// Terminations counts experiments per termination reason.
+	Terminations map[string]int
+	// Detections counts detected experiments per mechanism.
+	Detections map[string]int
+}
+
+// Runner executes a fault-injection campaign over a target, logging
+// everything to the GOOFI database. It may be paused, resumed and stopped
+// from other goroutines while Run executes (Fig. 7).
+type Runner struct {
+	ops      target.Operations
+	store    *dbase.Store
+	campaign Campaign
+
+	// OnProgress, when set, is called after the reference run and after
+	// every experiment. It runs on the Run goroutine.
+	OnProgress func(Progress)
+
+	// PlanFunc, when set, replaces the fault model's default sampling. The
+	// pre-injection analysis (§4 extension, internal/preinject) uses it to
+	// schedule injections only into live locations.
+	PlanFunc func(rng *rand.Rand, locs []faultmodel.Location, minTime, maxTime, horizon uint64) (faultmodel.Plan, error)
+
+	// StopCondition, when set, is evaluated after every experiment with the
+	// running summary; returning true ends the campaign early with a nil
+	// error (an adaptive alternative to a fixed NExperiments, e.g. "stop
+	// once enough detections accumulated for the target confidence").
+	StopCondition func(Summary) bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	paused  bool
+	stopped bool
+}
+
+// NewRunner builds a runner. RegisterBuiltins is called implicitly so the
+// shipped techniques are always available.
+func NewRunner(ops target.Operations, store *dbase.Store, campaign Campaign) *Runner {
+	RegisterBuiltins()
+	r := &Runner{ops: ops, store: store, campaign: campaign}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Pause suspends the campaign after the in-flight experiment completes.
+func (r *Runner) Pause() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = true
+}
+
+// Resume continues a paused campaign.
+func (r *Runner) Resume() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paused = false
+	r.cond.Broadcast()
+}
+
+// Stop ends the campaign after the in-flight experiment completes.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stopped = true
+	r.cond.Broadcast()
+}
+
+// checkpoint blocks while paused and reports whether the campaign must stop.
+func (r *Runner) checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.paused && !r.stopped {
+		r.cond.Wait()
+	}
+	if r.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Run executes the campaign: it stores the campaign definition, performs the
+// fault-free reference run, then runs and logs NExperiments fault-injection
+// experiments (the outer loop of Fig. 2's faultInjectorSCIFI). Cancelling
+// ctx stops the campaign between experiments.
+func (r *Runner) Run(ctx context.Context) (Summary, error) {
+	c := r.campaign
+	// Power up the test card first: campaign validation resolves location
+	// filters against the live chain inventory.
+	if err := r.ops.InitTestCard(); err != nil {
+		return Summary{}, err
+	}
+	if err := c.Validate(r.ops); err != nil {
+		return Summary{}, err
+	}
+	tech, err := techniqueFor(c.Technique)
+	if err != nil {
+		return Summary{}, err
+	}
+	locs, err := c.LocationFilter.Resolve(r.ops)
+	if err != nil {
+		return Summary{}, err
+	}
+	if err := r.ensureCampaignRow(); err != nil {
+		return Summary{}, err
+	}
+
+	// Propagate context cancellation into the pause/stop machinery.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.Stop()
+		case <-watchDone:
+		}
+	}()
+
+	sum := Summary{
+		Campaign:     c.Name,
+		Terminations: map[string]int{},
+		Detections:   map[string]int{},
+	}
+
+	r.ops.SetDetailMode(c.DetailMode)
+	defer r.ops.SetDetailMode(false)
+
+	// A stale snapshot from an earlier campaign must never leak in.
+	if cp, ok := r.ops.(target.Checkpointer); ok {
+		cp.ClearCheckpoint()
+	}
+
+	// Reference run: the same algorithm with an empty plan (Fig. 2,
+	// makeReferenceRun), logged under <campaign>/ref. A stopped campaign
+	// that is re-run resumes instead of redoing completed work (the
+	// "restart" control of Fig. 7): the logged reference is reused.
+	if !r.haveExperiment(c.Name + RefSuffix) {
+		ref, err := tech.run(r.ops, c, faultmodel.Plan{})
+		if err != nil {
+			return Summary{}, fmt.Errorf("core: reference run: %w", err)
+		}
+		if err := r.logExperiment(c.Name+RefSuffix, "", ref); err != nil {
+			return Summary{}, err
+		}
+		r.report(Progress{Campaign: c.Name, Done: 0, Total: c.NExperiments,
+			LastOutcome: "reference " + ref.Term.Reason.String()})
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	for i := 0; i < c.NExperiments; i++ {
+		if err := r.checkpoint(); err != nil {
+			return sum, err
+		}
+		planFn := c.Model.Plan
+		if r.PlanFunc != nil {
+			planFn = r.PlanFunc
+		}
+		// The plan is drawn even for experiments that are skipped on
+		// resume, keeping the PRNG stream aligned so a resumed campaign is
+		// bit-identical to an uninterrupted one.
+		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
+		if err != nil {
+			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		}
+		name := fmt.Sprintf("%s/e%04d", c.Name, i)
+		if r.haveExperiment(name) {
+			continue
+		}
+		exp, err := tech.run(r.ops, c, plan)
+		if err != nil {
+			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		}
+		if err := r.logExperiment(name, "", exp); err != nil {
+			return sum, err
+		}
+		sum.Completed++
+		sum.Terminations[exp.Term.Reason.String()]++
+		if exp.Term.Reason == target.TerminDetected {
+			sum.Detections[exp.Term.Mechanism]++
+		}
+		outcome := exp.Term.Reason.String()
+		if exp.Term.Mechanism != "" {
+			outcome += " (" + exp.Term.Mechanism + ")"
+		}
+		r.report(Progress{Campaign: c.Name, Done: i + 1, Total: c.NExperiments, LastOutcome: outcome})
+		if r.StopCondition != nil && r.StopCondition(sum) {
+			return sum, nil
+		}
+	}
+	return sum, nil
+}
+
+// ensureCampaignRow stores the CampaignData row, tolerating an identical
+// pre-existing definition (the CLI setup phase may have written it already).
+func (r *Runner) ensureCampaignRow() error {
+	row := r.campaign.Row(r.ops.Name())
+	existing, err := r.store.GetCampaign(r.campaign.Name)
+	if err == nil {
+		if existing != row {
+			return fmt.Errorf("core: campaign %q already exists with a different definition", r.campaign.Name)
+		}
+		return nil
+	}
+	if !errors.Is(err, dbase.ErrNotFound) {
+		return err
+	}
+	return r.store.PutCampaign(row)
+}
+
+func (r *Runner) report(p Progress) {
+	if r.OnProgress != nil {
+		r.OnProgress(p)
+	}
+}
+
+func (r *Runner) logExperiment(name, parent string, exp Experiment) error {
+	return r.store.PutExperiment(dbase.ExperimentRow{
+		ExperimentName:    name,
+		ParentExperiment:  parent,
+		CampaignName:      r.campaign.Name,
+		ExperimentData:    exp.Data(),
+		TerminationReason: exp.Term.Reason.String(),
+		Mechanism:         exp.Term.Mechanism,
+		Cycles:            exp.Term.Cycles,
+		Iterations:        exp.Term.Iterations,
+		StateVector:       exp.State.Encode(),
+	})
+}
+
+// RerunDetail repeats a logged experiment in detail mode, logging the trace
+// under "<experiment>/detail" with parentExperiment set — the exact E1/E2
+// scenario the paper uses to motivate the parentExperiment column (§2.3).
+// It returns the new experiment's name.
+func (r *Runner) RerunDetail(experimentName string) (string, error) {
+	row, err := r.store.GetExperiment(experimentName)
+	if err != nil {
+		return "", err
+	}
+	if row.CampaignName != r.campaign.Name {
+		return "", fmt.Errorf("core: experiment %s belongs to campaign %s, runner holds %s",
+			experimentName, row.CampaignName, r.campaign.Name)
+	}
+	plan, err := parseExperimentPlan(row.ExperimentData)
+	if err != nil {
+		return "", err
+	}
+	tech, err := techniqueFor(r.campaign.Technique)
+	if err != nil {
+		return "", err
+	}
+	r.ops.SetDetailMode(true)
+	defer r.ops.SetDetailMode(false)
+	exp, err := tech.run(r.ops, r.campaign, plan)
+	if err != nil {
+		return "", fmt.Errorf("core: detail rerun of %s: %w", experimentName, err)
+	}
+	name := experimentName + DetailSuffix
+	if err := r.logExperiment(name, experimentName, exp); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// parseExperimentPlan recovers the injection plan from an experimentData
+// column ("plan=[...] injected=k/n").
+func parseExperimentPlan(data string) (faultmodel.Plan, error) {
+	const prefix = "plan=["
+	start := -1
+	for i := 0; i+len(prefix) <= len(data); i++ {
+		if data[i:i+len(prefix)] == prefix {
+			start = i + len(prefix)
+			break
+		}
+	}
+	if start < 0 {
+		return faultmodel.Plan{}, fmt.Errorf("core: experimentData %q has no plan", data)
+	}
+	end := start
+	for end < len(data) && data[end] != ']' {
+		end++
+	}
+	if end == len(data) {
+		return faultmodel.Plan{}, fmt.Errorf("core: experimentData %q has unterminated plan", data)
+	}
+	return faultmodel.ParsePlan(data[start:end])
+}
+
+// haveExperiment reports whether the experiment row already exists.
+func (r *Runner) haveExperiment(name string) bool {
+	_, err := r.store.GetExperiment(name)
+	return err == nil
+}
+
+// PlanOfExperiment recovers the injection plan from a LoggedSystemState
+// experimentData value; analysis code uses it to attribute outcomes to
+// fault locations.
+func PlanOfExperiment(experimentData string) (faultmodel.Plan, error) {
+	return parseExperimentPlan(experimentData)
+}

@@ -1,0 +1,354 @@
+// Package core implements GOOFI's fault-injection campaign engine: the Go
+// rendering of the paper's FaultInjectionAlgorithms class (Fig. 2) plus the
+// campaign runner with reference runs, normal/detail logging modes and
+// progress control (Fig. 7).
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"goofi/internal/scan"
+	"goofi/internal/target"
+)
+
+// StateVector is the logged system state of one experiment: the contents of
+// every observed scan chain, the workload's result memory, the environment
+// exchange history and, in detail mode, the per-instruction trace. It is
+// serialised into LoggedSystemState.stateVector (paper §2.3, §3.3).
+type StateVector struct {
+	Chains []ChainState
+	Memory []MemWord
+	Env    [][]uint32
+	Trace  []TraceSample
+}
+
+// ChainState is one captured scan chain.
+type ChainState struct {
+	Name string
+	Bits int
+	Data []byte // scan.Bits.Pack encoding
+}
+
+// MemWord is one observed memory word.
+type MemWord struct {
+	Addr  uint32
+	Value uint32
+}
+
+// TraceSample is one detail-mode record.
+type TraceSample struct {
+	Cycle  uint64
+	PC     uint32
+	Disasm string
+	Core   []byte // packed core-chain bits
+}
+
+const (
+	svMagic   = "GSV1"
+	svMaxStr  = 1 << 16
+	svMaxList = 1 << 24
+)
+
+// Encode serialises the vector.
+func (sv *StateVector) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(svMagic)
+	writeU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	writeStr := func(s string) {
+		writeU32(uint32(len(s)))
+		buf.WriteString(s)
+	}
+	writeBytes := func(b []byte) {
+		writeU32(uint32(len(b)))
+		buf.Write(b)
+	}
+
+	writeU32(uint32(len(sv.Chains)))
+	for _, c := range sv.Chains {
+		writeStr(c.Name)
+		writeU32(uint32(c.Bits))
+		writeBytes(c.Data)
+	}
+	writeU32(uint32(len(sv.Memory)))
+	for _, m := range sv.Memory {
+		writeU32(m.Addr)
+		writeU32(m.Value)
+	}
+	writeU32(uint32(len(sv.Env)))
+	for _, iter := range sv.Env {
+		writeU32(uint32(len(iter)))
+		for _, v := range iter {
+			writeU32(v)
+		}
+	}
+	writeU32(uint32(len(sv.Trace)))
+	for _, tr := range sv.Trace {
+		writeU64(tr.Cycle)
+		writeU32(tr.PC)
+		writeStr(tr.Disasm)
+		writeBytes(tr.Core)
+	}
+	return buf.Bytes()
+}
+
+// DecodeStateVector inverts Encode.
+func DecodeStateVector(data []byte) (*StateVector, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != svMagic {
+		return nil, fmt.Errorf("core: state vector has bad magic")
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > svMaxStr {
+			return "", fmt.Errorf("core: string length %d too large", n)
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil && n > 0 {
+			return "", err
+		}
+		return string(b), nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > svMaxList {
+			return nil, fmt.Errorf("core: byte block length %d too large", n)
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil && n > 0 {
+			return nil, err
+		}
+		return b, nil
+	}
+	fail := func(section string, err error) (*StateVector, error) {
+		return nil, fmt.Errorf("core: decode state vector %s: %w", section, err)
+	}
+
+	sv := &StateVector{}
+	nChains, err := readU32()
+	if err != nil || nChains > svMaxList {
+		return fail("chain count", err)
+	}
+	for i := uint32(0); i < nChains; i++ {
+		name, err := readStr()
+		if err != nil {
+			return fail("chain name", err)
+		}
+		bits, err := readU32()
+		if err != nil {
+			return fail("chain bits", err)
+		}
+		data, err := readBytes()
+		if err != nil {
+			return fail("chain data", err)
+		}
+		sv.Chains = append(sv.Chains, ChainState{Name: name, Bits: int(bits), Data: data})
+	}
+	nMem, err := readU32()
+	if err != nil || nMem > svMaxList {
+		return fail("memory count", err)
+	}
+	for i := uint32(0); i < nMem; i++ {
+		addr, err := readU32()
+		if err != nil {
+			return fail("memory addr", err)
+		}
+		val, err := readU32()
+		if err != nil {
+			return fail("memory value", err)
+		}
+		sv.Memory = append(sv.Memory, MemWord{Addr: addr, Value: val})
+	}
+	nEnv, err := readU32()
+	if err != nil || nEnv > svMaxList {
+		return fail("env count", err)
+	}
+	for i := uint32(0); i < nEnv; i++ {
+		n, err := readU32()
+		if err != nil || n > svMaxList {
+			return fail("env iteration", err)
+		}
+		iter := make([]uint32, n)
+		for j := range iter {
+			if iter[j], err = readU32(); err != nil {
+				return fail("env value", err)
+			}
+		}
+		sv.Env = append(sv.Env, iter)
+	}
+	nTrace, err := readU32()
+	if err != nil || nTrace > svMaxList {
+		return fail("trace count", err)
+	}
+	for i := uint32(0); i < nTrace; i++ {
+		cycle, err := readU64()
+		if err != nil {
+			return fail("trace cycle", err)
+		}
+		pc, err := readU32()
+		if err != nil {
+			return fail("trace pc", err)
+		}
+		dis, err := readStr()
+		if err != nil {
+			return fail("trace disasm", err)
+		}
+		coreBits, err := readBytes()
+		if err != nil {
+			return fail("trace core", err)
+		}
+		sv.Trace = append(sv.Trace, TraceSample{Cycle: cycle, PC: pc, Disasm: dis, Core: coreBits})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in state vector", r.Len())
+	}
+	return sv, nil
+}
+
+// OutputsEqual reports whether the workload-visible outputs — result memory
+// and environment exchange history — match. A mismatch is the paper's
+// "incorrect results" escaped failure.
+func (sv *StateVector) OutputsEqual(o *StateVector) bool {
+	if len(sv.Memory) != len(o.Memory) || len(sv.Env) != len(o.Env) {
+		return false
+	}
+	for i := range sv.Memory {
+		if sv.Memory[i] != o.Memory[i] {
+			return false
+		}
+	}
+	for i := range sv.Env {
+		if len(sv.Env[i]) != len(o.Env[i]) {
+			return false
+		}
+		for j := range sv.Env[i] {
+			if sv.Env[i][j] != o.Env[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StateEqual reports whether the full observable state (chains + outputs)
+// matches. Equal state means the injected fault was overwritten (§3.4).
+func (sv *StateVector) StateEqual(o *StateVector) bool {
+	if !sv.OutputsEqual(o) {
+		return false
+	}
+	if len(sv.Chains) != len(o.Chains) {
+		return false
+	}
+	for i := range sv.Chains {
+		a, b := sv.Chains[i], o.Chains[i]
+		if a.Name != b.Name || a.Bits != b.Bits || !bytes.Equal(a.Data, b.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffSummary renders a short description of where two vectors differ, for
+// experiment reports.
+func (sv *StateVector) DiffSummary(o *StateVector) string {
+	var sb bytes.Buffer
+	for i := range sv.Chains {
+		if i >= len(o.Chains) {
+			break
+		}
+		a, b := sv.Chains[i], o.Chains[i]
+		if a.Name != b.Name || a.Bits != b.Bits {
+			fmt.Fprintf(&sb, "chain %s shape differs; ", a.Name)
+			continue
+		}
+		ba, err1 := scan.Unpack(a.Data, a.Bits)
+		bb, err2 := scan.Unpack(b.Data, b.Bits)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if d := ba.Diff(bb); len(d) > 0 {
+			fmt.Fprintf(&sb, "chain %s: %d bit(s) differ; ", a.Name, len(d))
+		}
+	}
+	nm := 0
+	for i := range sv.Memory {
+		if i < len(o.Memory) && sv.Memory[i] != o.Memory[i] {
+			nm++
+		}
+	}
+	if nm > 0 {
+		fmt.Fprintf(&sb, "memory: %d word(s) differ; ", nm)
+	}
+	ne := 0
+	for i := range sv.Env {
+		if i >= len(o.Env) {
+			ne++
+			continue
+		}
+		for j := range sv.Env[i] {
+			if j >= len(o.Env[i]) || sv.Env[i][j] != o.Env[i][j] {
+				ne++
+				break
+			}
+		}
+	}
+	if len(sv.Env) != len(o.Env) || ne > 0 {
+		fmt.Fprintf(&sb, "env history: %d iteration(s) differ; ", ne)
+	}
+	if sb.Len() == 0 {
+		return "identical"
+	}
+	return sb.String()
+}
+
+// captureState reads the observable state through the target operations:
+// every scan chain, the workload's result memory and the recorded
+// environment history (§3.3: "the logged system state typically includes
+// the contents of all the locations in the target system that are
+// observable ... as well as the workload input and output values").
+func captureState(ops target.Operations, resultAddrs []uint32, trace []target.TraceEntry) (*StateVector, error) {
+	sv := &StateVector{}
+	for _, ci := range ops.Chains() {
+		bits, err := ops.ReadScanChain(ci.Name)
+		if err != nil {
+			return nil, fmt.Errorf("capture state: %w", err)
+		}
+		sv.Chains = append(sv.Chains, ChainState{Name: ci.Name, Bits: bits.Len(), Data: bits.Pack()})
+	}
+	for _, addr := range resultAddrs {
+		vals, err := ops.ReadMemory(addr, 1)
+		if err != nil {
+			return nil, fmt.Errorf("capture state: %w", err)
+		}
+		sv.Memory = append(sv.Memory, MemWord{Addr: addr, Value: vals[0]})
+	}
+	sv.Env = ops.EnvHistory()
+	for _, te := range trace {
+		sv.Trace = append(sv.Trace, TraceSample{
+			Cycle:  te.Cycle,
+			PC:     te.PC,
+			Disasm: te.Disasm,
+			Core:   te.Core.Pack(),
+		})
+	}
+	return sv, nil
+}

@@ -1,0 +1,517 @@
+// Package dbase implements the GOOFI database layer (paper §2.3, Fig. 4):
+// the TargetSystemData, CampaignData and LoggedSystemState tables, related
+// by enforced foreign keys, stored in the embedded SQL engine of
+// internal/sqldb.
+//
+// Two tables extend the figure's minimum: FaultLocation normalises the
+// per-target fault-location list the paper stores "in the TargetSystemData
+// table" (§3.1), and AnalysisResult holds the per-experiment classification
+// the analysis phase produces so that the aggregate queries of §3.4 can run
+// as plain SQL (including the generated analysis scripts of §4).
+package dbase
+
+import (
+	"errors"
+	"fmt"
+
+	"goofi/internal/sqldb"
+)
+
+// ErrNotFound is returned when a requested row does not exist.
+var ErrNotFound = errors.New("dbase: not found")
+
+// Store wraps the campaign database.
+type Store struct {
+	db   *sqldb.DB
+	path string // empty for in-memory stores
+}
+
+// schema is the GOOFI schema DDL. Order matters: FK parents first.
+const schema = `
+CREATE TABLE IF NOT EXISTS TargetSystemData (
+	testCardName TEXT PRIMARY KEY,
+	description  TEXT,
+	memSize      INTEGER NOT NULL,
+	romSize      INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS FaultLocation (
+	testCardName TEXT NOT NULL,
+	locationName TEXT NOT NULL,
+	chainName    TEXT NOT NULL,
+	firstBit     INTEGER NOT NULL,
+	width        INTEGER NOT NULL,
+	writable     INTEGER NOT NULL,
+	PRIMARY KEY (testCardName, locationName),
+	FOREIGN KEY (testCardName) REFERENCES TargetSystemData (testCardName)
+);
+CREATE TABLE IF NOT EXISTS CampaignData (
+	campaignName   TEXT PRIMARY KEY,
+	testCardName   TEXT NOT NULL,
+	workload       TEXT NOT NULL,
+	technique      TEXT NOT NULL,
+	faultModel     TEXT NOT NULL,
+	locationFilter TEXT NOT NULL,
+	triggerSpec    TEXT,
+	nExperiments   INTEGER NOT NULL,
+	seed           INTEGER NOT NULL,
+	injectMinTime  INTEGER NOT NULL,
+	injectMaxTime  INTEGER NOT NULL,
+	maxCycles      INTEGER NOT NULL,
+	maxIterations  INTEGER NOT NULL,
+	detailMode     INTEGER NOT NULL DEFAULT 0,
+	envSimulator   TEXT,
+	notes          TEXT,
+	FOREIGN KEY (testCardName) REFERENCES TargetSystemData (testCardName)
+);
+CREATE TABLE IF NOT EXISTS LoggedSystemState (
+	experimentName    TEXT PRIMARY KEY,
+	parentExperiment  TEXT,
+	campaignName      TEXT NOT NULL,
+	experimentData    TEXT,
+	terminationReason TEXT,
+	mechanism         TEXT,
+	cycles            INTEGER,
+	iterations        INTEGER,
+	stateVector       BLOB,
+	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName),
+	FOREIGN KEY (parentExperiment) REFERENCES LoggedSystemState (experimentName)
+);
+CREATE TABLE IF NOT EXISTS AnalysisResult (
+	experimentName TEXT PRIMARY KEY,
+	campaignName   TEXT NOT NULL,
+	outcome        TEXT NOT NULL,
+	mechanism      TEXT,
+	FOREIGN KEY (experimentName) REFERENCES LoggedSystemState (experimentName),
+	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+);
+`
+
+// NewMemoryStore builds a fresh in-memory store with the schema installed.
+func NewMemoryStore() (*Store, error) {
+	s := &Store{db: sqldb.New()}
+	if err := s.db.ExecScript(schema); err != nil {
+		return nil, fmt.Errorf("dbase: install schema: %w", err)
+	}
+	return s, nil
+}
+
+// OpenStore loads (or creates) a store backed by a database file.
+func OpenStore(path string) (*Store, error) {
+	db, err := sqldb.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	s := &Store{db: db, path: path}
+	if err := s.db.ExecScript(schema); err != nil {
+		return nil, fmt.Errorf("dbase: install schema: %w", err)
+	}
+	return s, nil
+}
+
+// Save persists a file-backed store; it is an error on in-memory stores.
+func (s *Store) Save() error {
+	if s.path == "" {
+		return fmt.Errorf("dbase: in-memory store cannot be saved")
+	}
+	return s.db.Save(s.path)
+}
+
+// DB exposes the underlying SQL engine — the analysis phase queries it
+// directly, exactly as the paper's users write SQL against the tables.
+func (s *Store) DB() *sqldb.DB { return s.db }
+
+// --- TargetSystemData ---
+
+// TargetSystem is one row of TargetSystemData.
+type TargetSystem struct {
+	TestCardName string
+	Description  string
+	MemSize      uint32
+	ROMSize      uint32
+}
+
+// LocationRow is one row of FaultLocation: a named state-element window of a
+// scan chain (paper Fig. 5).
+type LocationRow struct {
+	TestCardName string
+	LocationName string
+	ChainName    string
+	FirstBit     int
+	Width        int
+	Writable     bool
+}
+
+// PutTargetSystem inserts or replaces a target system description.
+func (s *Store) PutTargetSystem(ts TargetSystem) error {
+	if ts.TestCardName == "" {
+		return fmt.Errorf("dbase: target system needs a name")
+	}
+	_, _ = s.db.Exec("DELETE FROM FaultLocation WHERE testCardName = ?", sqldb.Text(ts.TestCardName))
+	_, err := s.db.Exec("DELETE FROM TargetSystemData WHERE testCardName = ?", sqldb.Text(ts.TestCardName))
+	if err != nil {
+		return fmt.Errorf("dbase: replace target system: %w", err)
+	}
+	_, err = s.db.Exec(
+		"INSERT INTO TargetSystemData VALUES (?, ?, ?, ?)",
+		sqldb.Text(ts.TestCardName), sqldb.Text(ts.Description),
+		sqldb.Int64(int64(ts.MemSize)), sqldb.Int64(int64(ts.ROMSize)),
+	)
+	if err != nil {
+		return fmt.Errorf("dbase: put target system: %w", err)
+	}
+	return nil
+}
+
+// GetTargetSystem fetches one target system.
+func (s *Store) GetTargetSystem(name string) (TargetSystem, error) {
+	rows, err := s.db.Query(
+		"SELECT testCardName, description, memSize, romSize FROM TargetSystemData WHERE testCardName = ?",
+		sqldb.Text(name))
+	if err != nil {
+		return TargetSystem{}, fmt.Errorf("dbase: %w", err)
+	}
+	if rows.Len() == 0 {
+		return TargetSystem{}, fmt.Errorf("dbase: target system %q: %w", name, ErrNotFound)
+	}
+	r := rows.Data[0]
+	return TargetSystem{
+		TestCardName: r[0].Text,
+		Description:  r[1].Text,
+		MemSize:      uint32(r[2].Int),
+		ROMSize:      uint32(r[3].Int),
+	}, nil
+}
+
+// TargetSystems lists all registered target names.
+func (s *Store) TargetSystems() ([]string, error) {
+	rows, err := s.db.Query("SELECT testCardName FROM TargetSystemData ORDER BY testCardName")
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make([]string, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].Text)
+	}
+	return out, nil
+}
+
+// PutFaultLocations inserts the location list of a target.
+func (s *Store) PutFaultLocations(locs []LocationRow) error {
+	for _, l := range locs {
+		_, err := s.db.Exec(
+			"INSERT INTO FaultLocation VALUES (?, ?, ?, ?, ?, ?)",
+			sqldb.Text(l.TestCardName), sqldb.Text(l.LocationName),
+			sqldb.Text(l.ChainName), sqldb.Int64(int64(l.FirstBit)),
+			sqldb.Int64(int64(l.Width)), sqldb.Bool(l.Writable),
+		)
+		if err != nil {
+			return fmt.Errorf("dbase: put fault location %s: %w", l.LocationName, err)
+		}
+	}
+	return nil
+}
+
+// FaultLocations lists the fault locations of a target in name order.
+func (s *Store) FaultLocations(card string) ([]LocationRow, error) {
+	rows, err := s.db.Query(
+		`SELECT locationName, chainName, firstBit, width, writable
+		 FROM FaultLocation WHERE testCardName = ? ORDER BY chainName, firstBit`,
+		sqldb.Text(card))
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make([]LocationRow, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, LocationRow{
+			TestCardName: card,
+			LocationName: r[0].Text,
+			ChainName:    r[1].Text,
+			FirstBit:     int(r[2].Int),
+			Width:        int(r[3].Int),
+			Writable:     r[4].Int != 0,
+		})
+	}
+	return out, nil
+}
+
+// --- CampaignData ---
+
+// CampaignRow is one row of CampaignData (paper Fig. 6: everything needed to
+// conduct a campaign).
+type CampaignRow struct {
+	CampaignName   string
+	TestCardName   string
+	Workload       string
+	Technique      string
+	FaultModel     string
+	LocationFilter string
+	TriggerSpec    string
+	NExperiments   int
+	Seed           int64
+	InjectMinTime  uint64
+	InjectMaxTime  uint64
+	MaxCycles      uint64
+	MaxIterations  uint64
+	DetailMode     bool
+	EnvSimulator   string
+	Notes          string
+}
+
+// PutCampaign inserts a campaign definition.
+func (s *Store) PutCampaign(c CampaignRow) error {
+	_, err := s.db.Exec(
+		"INSERT INTO CampaignData VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+		sqldb.Text(c.CampaignName), sqldb.Text(c.TestCardName),
+		sqldb.Text(c.Workload), sqldb.Text(c.Technique),
+		sqldb.Text(c.FaultModel), sqldb.Text(c.LocationFilter),
+		sqldb.Text(c.TriggerSpec), sqldb.Int64(int64(c.NExperiments)),
+		sqldb.Int64(c.Seed), sqldb.Int64(int64(c.InjectMinTime)),
+		sqldb.Int64(int64(c.InjectMaxTime)), sqldb.Int64(int64(c.MaxCycles)),
+		sqldb.Int64(int64(c.MaxIterations)), sqldb.Bool(c.DetailMode),
+		sqldb.Text(c.EnvSimulator), sqldb.Text(c.Notes),
+	)
+	if err != nil {
+		return fmt.Errorf("dbase: put campaign %s: %w", c.CampaignName, err)
+	}
+	return nil
+}
+
+// GetCampaign fetches a campaign definition.
+func (s *Store) GetCampaign(name string) (CampaignRow, error) {
+	rows, err := s.db.Query("SELECT * FROM CampaignData WHERE campaignName = ?", sqldb.Text(name))
+	if err != nil {
+		return CampaignRow{}, fmt.Errorf("dbase: %w", err)
+	}
+	if rows.Len() == 0 {
+		return CampaignRow{}, fmt.Errorf("dbase: campaign %q: %w", name, ErrNotFound)
+	}
+	r := rows.Data[0]
+	return CampaignRow{
+		CampaignName:   r[0].Text,
+		TestCardName:   r[1].Text,
+		Workload:       r[2].Text,
+		Technique:      r[3].Text,
+		FaultModel:     r[4].Text,
+		LocationFilter: r[5].Text,
+		TriggerSpec:    r[6].Text,
+		NExperiments:   int(r[7].Int),
+		Seed:           r[8].Int,
+		InjectMinTime:  uint64(r[9].Int),
+		InjectMaxTime:  uint64(r[10].Int),
+		MaxCycles:      uint64(r[11].Int),
+		MaxIterations:  uint64(r[12].Int),
+		DetailMode:     r[13].Int != 0,
+		EnvSimulator:   r[14].Text,
+		Notes:          r[15].Text,
+	}, nil
+}
+
+// Campaigns lists campaign names in order.
+func (s *Store) Campaigns() ([]string, error) {
+	rows, err := s.db.Query("SELECT campaignName FROM CampaignData ORDER BY campaignName")
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make([]string, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, r[0].Text)
+	}
+	return out, nil
+}
+
+// MergeCampaigns creates a new campaign from several existing ones (§3.2:
+// "merge campaign data from several fault injection campaigns into a new
+// fault injection campaign"). The sources must agree on target, workload,
+// technique and fault model; location filters are concatenated and the
+// experiment counts summed. The widest time window and largest budgets win.
+func (s *Store) MergeCampaigns(newName string, sources ...string) (CampaignRow, error) {
+	if len(sources) < 2 {
+		return CampaignRow{}, fmt.Errorf("dbase: merge needs at least two campaigns")
+	}
+	base, err := s.GetCampaign(sources[0])
+	if err != nil {
+		return CampaignRow{}, err
+	}
+	merged := base
+	merged.CampaignName = newName
+	merged.Notes = "merged from " + sources[0]
+	for _, name := range sources[1:] {
+		c, err := s.GetCampaign(name)
+		if err != nil {
+			return CampaignRow{}, err
+		}
+		if c.TestCardName != base.TestCardName || c.Workload != base.Workload ||
+			c.Technique != base.Technique || c.FaultModel != base.FaultModel {
+			return CampaignRow{}, fmt.Errorf(
+				"dbase: cannot merge %s into %s: target/workload/technique/model differ",
+				name, sources[0])
+		}
+		if c.LocationFilter != merged.LocationFilter {
+			merged.LocationFilter += "," + c.LocationFilter
+		}
+		merged.NExperiments += c.NExperiments
+		if c.InjectMinTime < merged.InjectMinTime {
+			merged.InjectMinTime = c.InjectMinTime
+		}
+		if c.InjectMaxTime > merged.InjectMaxTime {
+			merged.InjectMaxTime = c.InjectMaxTime
+		}
+		if c.MaxCycles > merged.MaxCycles {
+			merged.MaxCycles = c.MaxCycles
+		}
+		if c.MaxIterations > merged.MaxIterations {
+			merged.MaxIterations = c.MaxIterations
+		}
+		merged.Notes += ", " + name
+	}
+	if err := s.PutCampaign(merged); err != nil {
+		return CampaignRow{}, err
+	}
+	return merged, nil
+}
+
+// --- LoggedSystemState ---
+
+// ExperimentRow is one row of LoggedSystemState.
+type ExperimentRow struct {
+	ExperimentName    string
+	ParentExperiment  string // "" when the experiment has no parent
+	CampaignName      string
+	ExperimentData    string
+	TerminationReason string
+	Mechanism         string
+	Cycles            uint64
+	Iterations        uint64
+	StateVector       []byte
+}
+
+// PutExperiment logs one experiment.
+func (s *Store) PutExperiment(e ExperimentRow) error {
+	parent := sqldb.Null()
+	if e.ParentExperiment != "" {
+		parent = sqldb.Text(e.ParentExperiment)
+	}
+	_, err := s.db.Exec(
+		"INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+		sqldb.Text(e.ExperimentName), parent, sqldb.Text(e.CampaignName),
+		sqldb.Text(e.ExperimentData), sqldb.Text(e.TerminationReason),
+		sqldb.Text(e.Mechanism), sqldb.Int64(int64(e.Cycles)),
+		sqldb.Int64(int64(e.Iterations)), sqldb.Blob(e.StateVector),
+	)
+	if err != nil {
+		return fmt.Errorf("dbase: put experiment %s: %w", e.ExperimentName, err)
+	}
+	return nil
+}
+
+// GetExperiment fetches one logged experiment.
+func (s *Store) GetExperiment(name string) (ExperimentRow, error) {
+	rows, err := s.db.Query("SELECT * FROM LoggedSystemState WHERE experimentName = ?", sqldb.Text(name))
+	if err != nil {
+		return ExperimentRow{}, fmt.Errorf("dbase: %w", err)
+	}
+	if rows.Len() == 0 {
+		return ExperimentRow{}, fmt.Errorf("dbase: experiment %q: %w", name, ErrNotFound)
+	}
+	return experimentFromRow(rows.Data[0]), nil
+}
+
+// Experiments returns every logged experiment of a campaign in name order.
+func (s *Store) Experiments(campaign string) ([]ExperimentRow, error) {
+	rows, err := s.db.Query(
+		"SELECT * FROM LoggedSystemState WHERE campaignName = ? ORDER BY experimentName",
+		sqldb.Text(campaign))
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make([]ExperimentRow, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, experimentFromRow(r))
+	}
+	return out, nil
+}
+
+func experimentFromRow(r []sqldb.Value) ExperimentRow {
+	e := ExperimentRow{
+		ExperimentName:    r[0].Text,
+		CampaignName:      r[2].Text,
+		ExperimentData:    r[3].Text,
+		TerminationReason: r[4].Text,
+		Mechanism:         r[5].Text,
+		Cycles:            uint64(r[6].Int),
+		Iterations:        uint64(r[7].Int),
+		StateVector:       append([]byte(nil), r[8].Blob...),
+	}
+	if !r[1].IsNull() {
+		e.ParentExperiment = r[1].Text
+	}
+	return e
+}
+
+// --- AnalysisResult ---
+
+// AnalysisRow is one classified experiment outcome.
+type AnalysisRow struct {
+	ExperimentName string
+	CampaignName   string
+	Outcome        string
+	Mechanism      string
+}
+
+// PutAnalysis stores classification rows, replacing earlier results for the
+// same experiments.
+func (s *Store) PutAnalysis(rows []AnalysisRow) error {
+	for _, r := range rows {
+		if _, err := s.db.Exec("DELETE FROM AnalysisResult WHERE experimentName = ?",
+			sqldb.Text(r.ExperimentName)); err != nil {
+			return fmt.Errorf("dbase: clear analysis: %w", err)
+		}
+		if _, err := s.db.Exec("INSERT INTO AnalysisResult VALUES (?, ?, ?, ?)",
+			sqldb.Text(r.ExperimentName), sqldb.Text(r.CampaignName),
+			sqldb.Text(r.Outcome), sqldb.Text(r.Mechanism)); err != nil {
+			return fmt.Errorf("dbase: put analysis: %w", err)
+		}
+	}
+	return nil
+}
+
+// AnalysisResults returns the classification rows of a campaign.
+func (s *Store) AnalysisResults(campaign string) ([]AnalysisRow, error) {
+	rows, err := s.db.Query(
+		"SELECT experimentName, campaignName, outcome, mechanism FROM AnalysisResult WHERE campaignName = ? ORDER BY experimentName",
+		sqldb.Text(campaign))
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make([]AnalysisRow, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, AnalysisRow{
+			ExperimentName: r[0].Text,
+			CampaignName:   r[1].Text,
+			Outcome:        r[2].Text,
+			Mechanism:      r[3].Text,
+		})
+	}
+	return out, nil
+}
+
+// DeleteCampaign removes a campaign and everything logged under it:
+// analysis rows, experiments (including detail reruns, whose self-FK is
+// satisfied by deleting all of them in one statement) and the CampaignData
+// row itself. The target system stays registered.
+func (s *Store) DeleteCampaign(name string) error {
+	if _, err := s.GetCampaign(name); err != nil {
+		return err
+	}
+	steps := []string{
+		"DELETE FROM AnalysisResult WHERE campaignName = ?",
+		"DELETE FROM LoggedSystemState WHERE campaignName = ?",
+		"DELETE FROM CampaignData WHERE campaignName = ?",
+	}
+	for _, q := range steps {
+		if _, err := s.db.Exec(q, sqldb.Text(name)); err != nil {
+			return fmt.Errorf("dbase: delete campaign %s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+// Package faultmodel defines GOOFI's fault models and fault locations.
+//
+// The paper's current version supports single and multiple transient
+// bit-flips (§1, §3.2); intermittent and permanent faults are listed as
+// extensions (§4). All four are implemented here. A fault model expands into
+// a concrete injection plan — a time-ordered list of (time, location,
+// operation) triples — which the campaign algorithms execute with
+// breakpoints and scan/memory writes.
+package faultmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Domain says which access path reaches a fault location.
+type Domain int
+
+// Location domains.
+const (
+	// DomainScan locations are bits of a scan chain (SCIFI, pin-level).
+	DomainScan Domain = iota + 1
+	// DomainMemory locations are bits of memory words (SWIFI).
+	DomainMemory
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainScan:
+		return "scan"
+	case DomainMemory:
+		return "mem"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Location identifies one injectable bit of the target system.
+type Location struct {
+	Domain Domain
+	// Chain and Bit address a scan-chain bit (DomainScan).
+	Chain string
+	Bit   int
+	// Addr and MemBit address a bit of a memory word (DomainMemory).
+	Addr   uint32
+	MemBit int
+}
+
+// String serialises the location for CampaignData / LoggedSystemState.
+func (l Location) String() string {
+	switch l.Domain {
+	case DomainScan:
+		return fmt.Sprintf("scan:%s:%d", l.Chain, l.Bit)
+	case DomainMemory:
+		return fmt.Sprintf("mem:%#x:%d", l.Addr, l.MemBit)
+	default:
+		return "invalid"
+	}
+}
+
+// ParseLocation inverts Location.String.
+func ParseLocation(s string) (Location, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Location{}, fmt.Errorf("faultmodel: malformed location %q", s)
+	}
+	switch parts[0] {
+	case "scan":
+		bit, err := strconv.Atoi(parts[2])
+		if err != nil || bit < 0 {
+			return Location{}, fmt.Errorf("faultmodel: bad bit in %q", s)
+		}
+		if parts[1] == "" {
+			return Location{}, fmt.Errorf("faultmodel: empty chain in %q", s)
+		}
+		return Location{Domain: DomainScan, Chain: parts[1], Bit: bit}, nil
+	case "mem":
+		addr, err := strconv.ParseUint(parts[1], 0, 32)
+		if err != nil {
+			return Location{}, fmt.Errorf("faultmodel: bad address in %q", s)
+		}
+		bit, err := strconv.Atoi(parts[2])
+		if err != nil || bit < 0 || bit > 31 {
+			return Location{}, fmt.Errorf("faultmodel: bad bit in %q", s)
+		}
+		return Location{Domain: DomainMemory, Addr: uint32(addr), MemBit: bit}, nil
+	default:
+		return Location{}, fmt.Errorf("faultmodel: unknown domain in %q", s)
+	}
+}
+
+// Op is the state manipulation applied at a location.
+type Op int
+
+// Injection operations. Transient and intermittent faults flip; permanent
+// stuck-at faults force a value.
+const (
+	OpFlip Op = iota + 1
+	OpStuck0
+	OpStuck1
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpFlip:
+		return "flip"
+	case OpStuck0:
+		return "stuck-0"
+	case OpStuck1:
+		return "stuck-1"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Injection is one scheduled state manipulation.
+type Injection struct {
+	// Time is the injection point in executed instructions.
+	Time uint64
+	Loc  Location
+	Op   Op
+}
+
+// Plan is the complete injection schedule of one experiment, sorted by time.
+type Plan struct {
+	Injections []Injection
+}
+
+// Times returns the distinct injection times in ascending order.
+func (p Plan) Times() []uint64 {
+	seen := make(map[uint64]bool, len(p.Injections))
+	var out []uint64
+	for _, inj := range p.Injections {
+		if !seen[inj.Time] {
+			seen[inj.Time] = true
+			out = append(out, inj.Time)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// At returns the injections scheduled at time t.
+func (p Plan) At(t uint64) []Injection {
+	var out []Injection
+	for _, inj := range p.Injections {
+		if inj.Time == t {
+			out = append(out, inj)
+		}
+	}
+	return out
+}
+
+// String renders the plan for the experimentData column.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Injections))
+	for i, inj := range p.Injections {
+		parts[i] = fmt.Sprintf("t=%d %s %s", inj.Time, inj.Op, inj.Loc)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Kind selects the fault model.
+type Kind int
+
+// Fault-model kinds.
+const (
+	// Transient: a single bit-flip at one point in time (the paper's
+	// primary model).
+	Transient Kind = iota + 1
+	// TransientMultiple: Multiplicity simultaneous bit-flips.
+	TransientMultiple
+	// Intermittent: the same bit flips Burst times, BurstSpacing apart
+	// (§4 extension).
+	Intermittent
+	// Permanent: a stuck-at fault, emulated by re-forcing the value every
+	// Period instructions from the injection time onward (§4 extension).
+	Permanent
+)
+
+// String names the kind, matching the CampaignData encoding.
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case TransientMultiple:
+		return "transient-multiple"
+	case Intermittent:
+		return "intermittent"
+	case Permanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "transient":
+		return Transient, nil
+	case "transient-multiple":
+		return TransientMultiple, nil
+	case "intermittent":
+		return Intermittent, nil
+	case "permanent":
+		return Permanent, nil
+	default:
+		return 0, fmt.Errorf("faultmodel: unknown kind %q", s)
+	}
+}
+
+// Model is a configured fault model.
+type Model struct {
+	Kind Kind
+	// Multiplicity is the number of simultaneous flips (TransientMultiple).
+	Multiplicity int
+	// Burst is the number of re-injections (Intermittent).
+	Burst int
+	// BurstSpacing is the instruction distance between re-injections.
+	BurstSpacing uint64
+	// Period is the stuck-at re-force interval (Permanent).
+	Period uint64
+	// StuckValue selects stuck-at-0 or stuck-at-1 (Permanent).
+	StuckValue int
+}
+
+// Validate checks model parameters.
+func (m Model) Validate() error {
+	switch m.Kind {
+	case Transient:
+		return nil
+	case TransientMultiple:
+		if m.Multiplicity < 2 {
+			return fmt.Errorf("faultmodel: multiplicity %d must be >= 2", m.Multiplicity)
+		}
+		return nil
+	case Intermittent:
+		if m.Burst < 2 || m.BurstSpacing == 0 {
+			return fmt.Errorf("faultmodel: intermittent needs Burst >= 2 and BurstSpacing > 0")
+		}
+		return nil
+	case Permanent:
+		if m.Period == 0 {
+			return fmt.Errorf("faultmodel: permanent needs Period > 0")
+		}
+		if m.StuckValue != 0 && m.StuckValue != 1 {
+			return fmt.Errorf("faultmodel: StuckValue must be 0 or 1")
+		}
+		return nil
+	default:
+		return fmt.Errorf("faultmodel: unknown kind %d", int(m.Kind))
+	}
+}
+
+// String encodes the model compactly for CampaignData.
+func (m Model) String() string {
+	switch m.Kind {
+	case TransientMultiple:
+		return fmt.Sprintf("%s,m=%d", m.Kind, m.Multiplicity)
+	case Intermittent:
+		return fmt.Sprintf("%s,burst=%d,spacing=%d", m.Kind, m.Burst, m.BurstSpacing)
+	case Permanent:
+		return fmt.Sprintf("%s,period=%d,stuck=%d", m.Kind, m.Period, m.StuckValue)
+	default:
+		return m.Kind.String()
+	}
+}
+
+// ParseModel inverts Model.String.
+func ParseModel(s string) (Model, error) {
+	parts := strings.Split(s, ",")
+	kind, err := ParseKind(parts[0])
+	if err != nil {
+		return Model{}, err
+	}
+	m := Model{Kind: kind}
+	for _, p := range parts[1:] {
+		kv := strings.SplitN(p, "=", 2)
+		if len(kv) != 2 {
+			return Model{}, fmt.Errorf("faultmodel: malformed model parameter %q", p)
+		}
+		n, err := strconv.ParseUint(kv[1], 10, 64)
+		if err != nil {
+			return Model{}, fmt.Errorf("faultmodel: bad value in %q", p)
+		}
+		switch kv[0] {
+		case "m":
+			m.Multiplicity = int(n)
+		case "burst":
+			m.Burst = int(n)
+		case "spacing":
+			m.BurstSpacing = n
+		case "period":
+			m.Period = n
+		case "stuck":
+			m.StuckValue = int(n)
+		default:
+			return Model{}, fmt.Errorf("faultmodel: unknown model parameter %q", kv[0])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// Plan samples one experiment's injection schedule: locations uniformly from
+// locs, the base time uniformly from [minTime, maxTime]. maxHorizon bounds
+// permanent-fault re-forcing.
+func (m Model) Plan(rng *rand.Rand, locs []Location, minTime, maxTime, maxHorizon uint64) (Plan, error) {
+	if err := m.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if len(locs) == 0 {
+		return Plan{}, fmt.Errorf("faultmodel: no candidate locations")
+	}
+	if maxTime < minTime {
+		return Plan{}, fmt.Errorf("faultmodel: time window [%d,%d] invalid", minTime, maxTime)
+	}
+	baseTime := minTime + uint64(rng.Int63n(int64(maxTime-minTime+1)))
+	pick := func() Location { return locs[rng.Intn(len(locs))] }
+
+	var plan Plan
+	switch m.Kind {
+	case Transient:
+		plan.Injections = []Injection{{Time: baseTime, Loc: pick(), Op: OpFlip}}
+	case TransientMultiple:
+		seen := make(map[Location]bool, m.Multiplicity)
+		for len(plan.Injections) < m.Multiplicity {
+			loc := pick()
+			if seen[loc] && len(seen) < len(locs) {
+				continue
+			}
+			seen[loc] = true
+			plan.Injections = append(plan.Injections, Injection{Time: baseTime, Loc: loc, Op: OpFlip})
+		}
+	case Intermittent:
+		loc := pick()
+		for i := 0; i < m.Burst; i++ {
+			t := baseTime + uint64(i)*m.BurstSpacing
+			if t > maxHorizon {
+				break
+			}
+			plan.Injections = append(plan.Injections, Injection{Time: t, Loc: loc, Op: OpFlip})
+		}
+	case Permanent:
+		loc := pick()
+		op := OpStuck0
+		if m.StuckValue == 1 {
+			op = OpStuck1
+		}
+		for t := baseTime; t <= maxHorizon; t += m.Period {
+			plan.Injections = append(plan.Injections, Injection{Time: t, Loc: loc, Op: op})
+		}
+	}
+	sort.SliceStable(plan.Injections, func(i, j int) bool {
+		return plan.Injections[i].Time < plan.Injections[j].Time
+	})
+	return plan, nil
+}
+
+// Apply computes the new value of a bit under the operation.
+func (o Op) Apply(bit bool) (bool, error) {
+	switch o {
+	case OpFlip:
+		return !bit, nil
+	case OpStuck0:
+		return false, nil
+	case OpStuck1:
+		return true, nil
+	default:
+		return bit, fmt.Errorf("faultmodel: unknown op %d", int(o))
+	}
+}
+
+// ParseOp inverts Op.String.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "flip":
+		return OpFlip, nil
+	case "stuck-0":
+		return OpStuck0, nil
+	case "stuck-1":
+		return OpStuck1, nil
+	default:
+		return 0, fmt.Errorf("faultmodel: unknown op %q", s)
+	}
+}
+
+// ParsePlan inverts Plan.String; it is how a detail-mode rerun recovers the
+// exact injection schedule of a logged experiment (paper §2.3, the
+// parentExperiment scenario).
+func ParsePlan(s string) (Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Plan{}, nil
+	}
+	var plan Plan
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Fields(part)
+		if len(fields) != 3 || !strings.HasPrefix(fields[0], "t=") {
+			return Plan{}, fmt.Errorf("faultmodel: malformed plan entry %q", part)
+		}
+		t, err := strconv.ParseUint(fields[0][2:], 10, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("faultmodel: bad time in %q", part)
+		}
+		op, err := ParseOp(fields[1])
+		if err != nil {
+			return Plan{}, err
+		}
+		loc, err := ParseLocation(fields[2])
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Injections = append(plan.Injections, Injection{Time: t, Loc: loc, Op: op})
+	}
+	return plan, nil
+}

@@ -1,0 +1,265 @@
+package faultmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocationStringRoundTrip(t *testing.T) {
+	locs := []Location{
+		{Domain: DomainScan, Chain: "internal.core", Bit: 531},
+		{Domain: DomainScan, Chain: "boundary.pins", Bit: 0},
+		{Domain: DomainMemory, Addr: 0x4000, MemBit: 31},
+		{Domain: DomainMemory, Addr: 0, MemBit: 0},
+	}
+	for _, l := range locs {
+		got, err := ParseLocation(l.String())
+		if err != nil {
+			t.Fatalf("%s: %v", l, err)
+		}
+		if got != l {
+			t.Fatalf("round trip %v -> %v", l, got)
+		}
+	}
+}
+
+func TestParseLocationErrors(t *testing.T) {
+	bad := []string{
+		"", "scan", "scan:c", "scan::5", "scan:c:x", "scan:c:-1",
+		"mem:zz:0", "mem:0x4000:32", "mem:0x4000:-1", "pin:0:1", "a:b:c:d",
+	}
+	for _, s := range bad {
+		if _, err := ParseLocation(s); err == nil {
+			t.Errorf("ParseLocation(%q) should fail", s)
+		}
+	}
+}
+
+func TestModelStringRoundTrip(t *testing.T) {
+	models := []Model{
+		{Kind: Transient},
+		{Kind: TransientMultiple, Multiplicity: 3},
+		{Kind: Intermittent, Burst: 4, BurstSpacing: 100},
+		{Kind: Permanent, Period: 50, StuckValue: 1},
+		{Kind: Permanent, Period: 1, StuckValue: 0},
+	}
+	for _, m := range models {
+		got, err := ParseModel(m.String())
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	bad := []string{
+		"", "bogus", "transient-multiple", "transient-multiple,m=1",
+		"intermittent,burst=1,spacing=5", "intermittent,burst=3",
+		"permanent", "permanent,period=0", "permanent,period=5,stuck=2",
+		"transient,zz=1", "transient,m", "transient,m=x",
+	}
+	for _, s := range bad {
+		if _, err := ParseModel(s); err == nil {
+			t.Errorf("ParseModel(%q) should fail", s)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{Kind: Transient}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Model{Kind: Kind(99)}).Validate(); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}
+
+func someLocs(n int) []Location {
+	locs := make([]Location, n)
+	for i := range locs {
+		locs[i] = Location{Domain: DomainScan, Chain: "c", Bit: i}
+	}
+	return locs
+}
+
+func TestTransientPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := Model{Kind: Transient}
+	plan, err := m.Plan(rng, someLocs(10), 100, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Injections) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	inj := plan.Injections[0]
+	if inj.Time < 100 || inj.Time > 200 || inj.Op != OpFlip {
+		t.Fatalf("injection = %+v", inj)
+	}
+}
+
+func TestTransientMultiplePlanDistinctLocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := Model{Kind: TransientMultiple, Multiplicity: 4}
+	plan, err := m.Plan(rng, someLocs(50), 10, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Injections) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	seen := map[Location]bool{}
+	for _, inj := range plan.Injections {
+		if inj.Time != 10 {
+			t.Fatalf("simultaneous flips must share the time: %+v", inj)
+		}
+		if seen[inj.Loc] {
+			t.Fatalf("duplicate location %v", inj.Loc)
+		}
+		seen[inj.Loc] = true
+	}
+}
+
+func TestIntermittentPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := Model{Kind: Intermittent, Burst: 3, BurstSpacing: 100}
+	plan, err := m.Plan(rng, someLocs(5), 50, 50, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Injections) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	for i, inj := range plan.Injections {
+		if inj.Time != 50+uint64(i)*100 {
+			t.Fatalf("injection %d time = %d", i, inj.Time)
+		}
+		if inj.Loc != plan.Injections[0].Loc {
+			t.Fatal("intermittent fault must reuse one location")
+		}
+	}
+	// Horizon truncates the burst.
+	plan, err = m.Plan(rng, someLocs(5), 50, 50, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Injections) != 2 { // t=50 and t=150; t=250 exceeds horizon
+		t.Fatalf("truncated plan = %+v", plan)
+	}
+}
+
+func TestPermanentPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := Model{Kind: Permanent, Period: 100, StuckValue: 1}
+	plan, err := m.Plan(rng, someLocs(5), 0, 0, 450)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Injections) != 5 { // t = 0,100,200,300,400
+		t.Fatalf("plan = %+v", plan)
+	}
+	for _, inj := range plan.Injections {
+		if inj.Op != OpStuck1 {
+			t.Fatalf("op = %v", inj.Op)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Model{Kind: Transient}
+	if _, err := m.Plan(rng, nil, 0, 10, 100); err == nil {
+		t.Fatal("no locations should fail")
+	}
+	if _, err := m.Plan(rng, someLocs(1), 10, 5, 100); err == nil {
+		t.Fatal("inverted window should fail")
+	}
+	if _, err := (Model{Kind: TransientMultiple}).Plan(rng, someLocs(1), 0, 1, 10); err == nil {
+		t.Fatal("invalid model should fail")
+	}
+}
+
+func TestPlanTimesAndAt(t *testing.T) {
+	p := Plan{Injections: []Injection{
+		{Time: 5, Loc: Location{Domain: DomainScan, Chain: "c", Bit: 1}, Op: OpFlip},
+		{Time: 5, Loc: Location{Domain: DomainScan, Chain: "c", Bit: 2}, Op: OpFlip},
+		{Time: 9, Loc: Location{Domain: DomainScan, Chain: "c", Bit: 1}, Op: OpFlip},
+	}}
+	times := p.Times()
+	if len(times) != 2 || times[0] != 5 || times[1] != 9 {
+		t.Fatalf("times = %v", times)
+	}
+	if len(p.At(5)) != 2 || len(p.At(9)) != 1 || len(p.At(7)) != 0 {
+		t.Fatal("At grouping wrong")
+	}
+	if !strings.Contains(p.String(), "t=5 flip scan:c:1") {
+		t.Fatalf("plan string = %q", p.String())
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	if v, _ := OpFlip.Apply(true); v {
+		t.Fatal("flip true -> false")
+	}
+	if v, _ := OpStuck0.Apply(true); v {
+		t.Fatal("stuck0")
+	}
+	if v, _ := OpStuck1.Apply(false); !v {
+		t.Fatal("stuck1")
+	}
+	if _, err := Op(9).Apply(false); err == nil {
+		t.Fatal("bad op should fail")
+	}
+}
+
+// Property: transient plans always fall inside the configured window and
+// choose locations from the candidate set.
+func TestTransientPlanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	locs := someLocs(20)
+	f := func(seed int64, lo, span uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		minT := uint64(lo)
+		maxT := minT + uint64(span)
+		plan, err := (Model{Kind: Transient}).Plan(r, locs, minT, maxT, maxT+1000)
+		if err != nil || len(plan.Injections) != 1 {
+			return false
+		}
+		inj := plan.Injections[0]
+		if inj.Time < minT || inj.Time > maxT {
+			return false
+		}
+		return inj.Loc.Bit >= 0 && inj.Loc.Bit < len(locs)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: plans are deterministic for a fixed seed.
+func TestPlanDeterminismProperty(t *testing.T) {
+	m := Model{Kind: Intermittent, Burst: 3, BurstSpacing: 10}
+	locs := someLocs(30)
+	f := func(seed int64) bool {
+		p1, err1 := m.Plan(rand.New(rand.NewSource(seed)), locs, 0, 100, 1000)
+		p2, err2 := m.Plan(rand.New(rand.NewSource(seed)), locs, 0, 100, 1000)
+		if err1 != nil || err2 != nil || len(p1.Injections) != len(p2.Injections) {
+			return false
+		}
+		for i := range p1.Injections {
+			if p1.Injections[i] != p2.Injections[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

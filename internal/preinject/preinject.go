@@ -1,0 +1,194 @@
+// Package preinject implements the pre-injection analysis the paper lists as
+// a planned extension (§4): "determine when registers and other fault
+// injection locations hold live data. Injecting a fault into a location that
+// does not hold live data serves no purpose, since the fault will be
+// overwritten."
+//
+// The analysis performs one instrumented reference execution of the
+// workload, recording every register and memory access with its direction.
+// A location is *live* at time t when its next access after t is a read —
+// only then can an injected bit-flip propagate. Plans restricted to live
+// (location, time) pairs raise the effective-error yield per experiment,
+// which is exactly the efficiency improvement the extension targets
+// (experiment E6).
+package preinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"goofi/internal/faultmodel"
+	"goofi/internal/target"
+	"goofi/internal/thor"
+	"goofi/internal/workload"
+)
+
+// access is one recorded register or memory access.
+type access struct {
+	cycle uint64
+	read  bool
+}
+
+// Analysis holds the liveness tables of one workload execution.
+type Analysis struct {
+	regAccesses [thor.NumRegs][]access
+	memAccesses map[uint32][]access
+	// maxCycle is the reference execution's length.
+	maxCycle uint64
+}
+
+// Analyze performs the instrumented reference run on a fresh target.
+func Analyze(ops *target.ThorTarget, w workload.Spec) (*Analysis, error) {
+	if err := ops.InitTestCard(); err != nil {
+		return nil, fmt.Errorf("preinject: %w", err)
+	}
+	if err := ops.LoadWorkload(w); err != nil {
+		return nil, fmt.Errorf("preinject: %w", err)
+	}
+	if err := ops.RunWorkload(); err != nil {
+		return nil, fmt.Errorf("preinject: %w", err)
+	}
+	a := &Analysis{memAccesses: make(map[uint32][]access)}
+	cpu := ops.System().CPU
+	cpu.SetTraceHook(func(rec thor.TraceRecord) {
+		for r := 0; r < thor.NumRegs; r++ {
+			bit := uint16(1) << uint(r)
+			// Reads are recorded before writes: an instruction that both
+			// reads and writes a register (e.g. ADDI R1, R1, 1) consumes
+			// the old value first.
+			if rec.Events.RegsRead&bit != 0 {
+				a.regAccesses[r] = append(a.regAccesses[r], access{cycle: rec.Cycle, read: true})
+			}
+			if rec.Events.RegsWritten&bit != 0 {
+				a.regAccesses[r] = append(a.regAccesses[r], access{cycle: rec.Cycle, read: false})
+			}
+		}
+		if rec.Events.MemRead {
+			addr := rec.Events.MemAddr &^ 3
+			a.memAccesses[addr] = append(a.memAccesses[addr], access{cycle: rec.Cycle, read: true})
+		}
+		if rec.Events.MemWrite {
+			addr := rec.Events.MemAddr &^ 3
+			a.memAccesses[addr] = append(a.memAccesses[addr], access{cycle: rec.Cycle, read: false})
+		}
+	})
+	term, err := ops.WaitForTermination(target.TerminationSpec{
+		MaxCycles:     w.MaxCycles,
+		MaxIterations: w.MaxIterations,
+	})
+	cpu.SetTraceHook(nil)
+	if err != nil {
+		return nil, fmt.Errorf("preinject: %w", err)
+	}
+	a.maxCycle = term.Cycles
+	return a, nil
+}
+
+// MaxCycle returns the reference execution length in instructions.
+func (a *Analysis) MaxCycle() uint64 { return a.maxCycle }
+
+// Live reports whether the location holds live data at time t: whether the
+// next access strictly after t reads the old value. Locations the analysis
+// cannot see (cache arrays, pipeline latches, pins) are conservatively
+// reported live.
+func (a *Analysis) Live(loc faultmodel.Location, t uint64) bool {
+	switch loc.Domain {
+	case faultmodel.DomainMemory:
+		return nextIsRead(a.memAccesses[loc.Addr&^3], t)
+	case faultmodel.DomainScan:
+		reg, ok := coreRegisterOf(loc)
+		if !ok {
+			return true // not a register field: conservatively live
+		}
+		return nextIsRead(a.regAccesses[reg], t)
+	default:
+		return true
+	}
+}
+
+// nextIsRead finds the first access after cycle t and reports whether it is
+// a read. No further access means the value is dead.
+func nextIsRead(accs []access, t uint64) bool {
+	// Accesses are recorded in cycle order; binary search for the first
+	// access with cycle >= t (a breakpoint at t halts before the
+	// instruction that executes at cycle t).
+	i := sort.Search(len(accs), func(i int) bool { return accs[i].cycle >= t })
+	if i == len(accs) {
+		return false
+	}
+	return accs[i].read
+}
+
+// coreRegisterOf maps a scan location in the core chain's register file to
+// its register index. The register file occupies the first 16 × 32 bits of
+// the core chain (see thor.BuildTAP).
+func coreRegisterOf(loc faultmodel.Location) (int, bool) {
+	if !strings.HasPrefix(loc.Chain, "internal.core") {
+		return 0, false
+	}
+	if loc.Bit < 0 || loc.Bit >= thor.NumRegs*32 {
+		return 0, false
+	}
+	return loc.Bit / 32, true
+}
+
+// Planner wraps a fault model so that sampled plans only hit live
+// (location, time) pairs. It plugs into core.Runner.PlanFunc.
+type Planner struct {
+	Analysis *Analysis
+	Model    faultmodel.Model
+	// MaxAttempts bounds the resampling; 0 means DefaultMaxAttempts.
+	MaxAttempts int
+}
+
+// DefaultMaxAttempts bounds live-plan resampling.
+const DefaultMaxAttempts = 500
+
+// Plan samples plans from the model until one whose first injection hits a
+// live location, or MaxAttempts is exhausted (the last sample is returned
+// then, so campaigns degrade gracefully on workloads with little liveness).
+func (p *Planner) Plan(rng *rand.Rand, locs []faultmodel.Location, minTime, maxTime, horizon uint64) (faultmodel.Plan, error) {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	var (
+		plan faultmodel.Plan
+		err  error
+	)
+	for i := 0; i < attempts; i++ {
+		plan, err = p.Model.Plan(rng, locs, minTime, maxTime, horizon)
+		if err != nil {
+			return faultmodel.Plan{}, err
+		}
+		if len(plan.Injections) == 0 {
+			continue
+		}
+		inj := plan.Injections[0]
+		if p.Analysis.Live(inj.Loc, inj.Time) {
+			return plan, nil
+		}
+	}
+	return plan, nil
+}
+
+// LiveFraction estimates, by uniform sampling with the given rng, the
+// fraction of (location, time) pairs that hold live data — the headline
+// number of the pre-injection analysis (how much injection effort the
+// extension saves).
+func (a *Analysis) LiveFraction(rng *rand.Rand, locs []faultmodel.Location, minTime, maxTime uint64, samples int) float64 {
+	if samples <= 0 || len(locs) == 0 || maxTime < minTime {
+		return 0
+	}
+	live := 0
+	for i := 0; i < samples; i++ {
+		loc := locs[rng.Intn(len(locs))]
+		t := minTime + uint64(rng.Int63n(int64(maxTime-minTime+1)))
+		if a.Live(loc, t) {
+			live++
+		}
+	}
+	return float64(live) / float64(samples)
+}

@@ -1,0 +1,187 @@
+package preinject
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"goofi/internal/analysis"
+	"goofi/internal/core"
+	"goofi/internal/dbase"
+	"goofi/internal/faultmodel"
+	"goofi/internal/target"
+	"goofi/internal/workload"
+)
+
+func analyze(t *testing.T, w workload.Spec) *Analysis {
+	t.Helper()
+	ops := target.NewDefaultThorTarget()
+	a, err := Analyze(ops, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	a := analyze(t, workload.BubbleSort())
+	if a.MaxCycle() == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	// R7 holds the array base pointer and is read throughout the sort:
+	// it must be live early in the run.
+	r7 := faultmodel.Location{Domain: faultmodel.DomainScan, Chain: "internal.core", Bit: 7 * 32}
+	if !a.Live(r7, 100) {
+		t.Fatal("array base register should be live mid-sort")
+	}
+	// After the workload ends nothing is live.
+	if a.Live(r7, a.MaxCycle()+10) {
+		t.Fatal("register live after termination")
+	}
+	// R11 is never used by the sort: dead at all times.
+	r11 := faultmodel.Location{Domain: faultmodel.DomainScan, Chain: "internal.core", Bit: 11 * 32}
+	if a.Live(r11, 100) {
+		t.Fatal("unused register reported live")
+	}
+}
+
+func TestLiveMemory(t *testing.T) {
+	a := analyze(t, workload.BubbleSort())
+	// The sorted array is read repeatedly during the sort.
+	arr := faultmodel.Location{Domain: faultmodel.DomainMemory, Addr: 0x4000, MemBit: 0}
+	if !a.Live(arr, 50) {
+		t.Fatal("array word should be live during the sort")
+	}
+	// A word the workload never touches is dead.
+	dead := faultmodel.Location{Domain: faultmodel.DomainMemory, Addr: 0x6000, MemBit: 0}
+	if a.Live(dead, 50) {
+		t.Fatal("untouched word reported live")
+	}
+}
+
+func TestLiveReadModifyWrite(t *testing.T) {
+	// A location whose next access both reads and writes (e.g. the loop
+	// counter in ADDI R2, R2, 1) counts as live: the read comes first.
+	a := analyze(t, workload.BubbleSort())
+	r2 := faultmodel.Location{Domain: faultmodel.DomainScan, Chain: "internal.core", Bit: 2 * 32}
+	if !a.Live(r2, 30) {
+		t.Fatal("loop counter should be live")
+	}
+}
+
+func TestLiveUnknownLocationsConservative(t *testing.T) {
+	a := analyze(t, workload.BubbleSort())
+	cache := faultmodel.Location{Domain: faultmodel.DomainScan, Chain: "internal.dcache", Bit: 5}
+	if !a.Live(cache, 100) {
+		t.Fatal("cache locations must be conservatively live")
+	}
+	psw := faultmodel.Location{Domain: faultmodel.DomainScan, Chain: "internal.core", Bit: 16*32 + 33}
+	if !a.Live(psw, 100) {
+		t.Fatal("non-register core fields must be conservatively live")
+	}
+}
+
+func TestLiveFraction(t *testing.T) {
+	a := analyze(t, workload.BubbleSort())
+	locs, err := faultmodel.Filter("chain:internal.core").Resolve(newOps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	frac := a.LiveFraction(rng, locs, 10, a.MaxCycle()-10, 2000)
+	// The sort uses roughly half the register file; the live fraction must
+	// be strictly between 0 and 1.
+	if frac <= 0.05 || frac >= 0.95 {
+		t.Fatalf("live fraction = %f", frac)
+	}
+	if a.LiveFraction(rng, nil, 0, 10, 10) != 0 {
+		t.Fatal("empty location set should give 0")
+	}
+}
+
+func newOps(t *testing.T) *target.ThorTarget {
+	t.Helper()
+	ops := target.NewDefaultThorTarget()
+	if err := ops.InitTestCard(); err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func TestPlannerPrefersLivePlans(t *testing.T) {
+	a := analyze(t, workload.BubbleSort())
+	locs, err := faultmodel.Filter("chain:internal.core").Resolve(newOps(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Planner{Analysis: a, Model: faultmodel.Model{Kind: faultmodel.Transient}}
+	rng := rand.New(rand.NewSource(6))
+	liveCount := 0
+	const n = 50
+	for i := 0; i < n; i++ {
+		plan, err := p.Plan(rng, locs, 10, a.MaxCycle()-10, a.MaxCycle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Injections) != 1 {
+			t.Fatalf("plan = %+v", plan)
+		}
+		if a.Live(plan.Injections[0].Loc, plan.Injections[0].Time) {
+			liveCount++
+		}
+	}
+	if liveCount < n*9/10 {
+		t.Fatalf("only %d/%d plans hit live locations", liveCount, n)
+	}
+}
+
+// The headline E6 result: a campaign with pre-injection analysis yields a
+// markedly higher effective-error rate than the plain campaign.
+func TestPreInjectionImprovesEffectiveness(t *testing.T) {
+	runWith := func(name string, usePlanner bool) analysis.Report {
+		ops := target.NewDefaultThorTarget()
+		store, err := dbase.NewMemoryStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.RegisterTarget(store, ops, "test"); err != nil {
+			t.Fatal(err)
+		}
+		c := core.Campaign{
+			Name:           name,
+			Workload:       workload.BubbleSort(),
+			Technique:      core.TechSCIFI,
+			Model:          faultmodel.Model{Kind: faultmodel.Transient},
+			LocationFilter: "chain:internal.core",
+			NExperiments:   40,
+			Seed:           11,
+			InjectMinTime:  10,
+			InjectMaxTime:  1400,
+		}
+		r := core.NewRunner(ops, store, c)
+		if usePlanner {
+			a, err := Analyze(target.NewDefaultThorTarget(), c.Workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &Planner{Analysis: a, Model: c.Model}
+			r.PlanFunc = p.Plan
+		}
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := analysis.Classify(store, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := runWith("pre-plain", false)
+	live := runWith("pre-live", true)
+	t.Logf("plain: eff=%d/%d; live: eff=%d/%d",
+		plain.Effective, plain.Total, live.Effective, live.Total)
+	if live.Effective <= plain.Effective {
+		t.Fatalf("pre-injection analysis did not raise effectiveness: %d vs %d",
+			live.Effective, plain.Effective)
+	}
+}

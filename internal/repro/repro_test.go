@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllListsExperiments(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	for i, e := range all {
+		want := fmt.Sprintf("E%d", i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d id = %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("E3")
+	if err != nil || e.ID != "E3" {
+		t.Fatalf("Get(E3) = %+v, %v", e, err)
+	}
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+// The fast experiments run in full as part of the test suite; the slow
+// campaign experiments are covered by cmd/goofi-repro and the benchmarks.
+
+func TestE1OperationSequence(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E1OperationSequence(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestE2DatabaseIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E2DatabaseIntegrity(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	for _, frag := range []string{"TargetSystemData", "parentExperiment", "rejected by FK"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestE8Triggers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E8Triggers(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+}
+
+func TestE10Portability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E10Portability(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestE9GeneratedSQL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := E9GeneratedSQL(&buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestSlowExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-scale experiments skipped with -short")
+	}
+	for _, id := range []string{"E3", "E4", "E5", "E6", "E7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%v\n%s", err, buf.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Package scan implements the built-in test logic that Scan-Chain
+// Implemented Fault Injection (SCIFI) drives: named scan chains over a
+// device's state elements and an IEEE 1149.1-style TAP controller through
+// which a host shifts chain contents in and out bit by bit (paper §1, §3.1).
+//
+// The package is device-agnostic: a chip (internal/thor) registers Fields —
+// windows onto its state elements — and the GOOFI tool reads, flips and
+// writes back bits without any other access path to the internals, exactly
+// as the paper's SCIFI technique prescribes.
+package scan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bits is a mutable bit vector. Index 0 is the bit closest to TDO, i.e. the
+// first bit shifted out of the chain.
+type Bits []bool
+
+// NewBits returns an all-zero bit vector of length n.
+func NewBits(n int) Bits { return make(Bits, n) }
+
+// Len returns the number of bits.
+func (b Bits) Len() int { return len(b) }
+
+// Get returns bit i.
+func (b Bits) Get(i int) bool { return b[i] }
+
+// Set assigns bit i.
+func (b Bits) Set(i int, v bool) { b[i] = v }
+
+// Flip inverts bit i — the transient bit-flip fault model's basic operation.
+func (b Bits) Flip(i int) { b[i] = !b[i] }
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (b Bits) Equal(o Bits) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the indices at which b and o differ. Vectors of different
+// lengths additionally differ at every position beyond the shorter one.
+func (b Bits) Diff(o Bits) []int {
+	var out []int
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != o[i] {
+			out = append(out, i)
+		}
+	}
+	for i := n; i < len(b) || i < len(o); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Uint64 reads width bits starting at offset as a little-endian integer
+// (bit offset holds the least significant bit).
+func (b Bits) Uint64(offset, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if b[offset+i] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// PutUint64 writes width bits of v starting at offset.
+func (b Bits) PutUint64(offset, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		b[offset+i] = v&(1<<uint(i)) != 0
+	}
+}
+
+// Pack serialises the vector into bytes (little-endian bit order), the form
+// stored in the LoggedSystemState.stateVector column.
+func (b Bits) Pack() []byte {
+	out := make([]byte, (len(b)+7)/8)
+	for i, bit := range b {
+		if bit {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// Unpack rebuilds a vector of length n from Pack output.
+func Unpack(data []byte, n int) (Bits, error) {
+	if need := (n + 7) / 8; len(data) != need {
+		return nil, fmt.Errorf("scan: unpack %d bits needs %d bytes, got %d", n, need, len(data))
+	}
+	b := NewBits(n)
+	for i := 0; i < n; i++ {
+		b[i] = data[i/8]&(1<<uint(i%8)) != 0
+	}
+	return b, nil
+}
+
+// String renders the vector as a 0/1 string, bit 0 first, for debugging.
+func (b Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, bit := range b {
+		if bit {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	n := 0
+	for _, bit := range b {
+		if bit {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package scan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one state element reachable through a scan chain: a named window
+// of up to 64 bits with accessors into the device state. ReadOnly fields can
+// be observed but not driven — Update skips them, exactly as the paper notes
+// for some Thor RD scan locations (§3.1).
+type Field struct {
+	// Name identifies the state element, e.g. "R3", "PC", "icache[7].data".
+	Name string
+	// Width is the number of bits, 1..64.
+	Width int
+	// Get reads the current value of the element.
+	Get func() uint64
+	// Set drives a new value into the element. nil implies ReadOnly.
+	Set func(uint64)
+	// ReadOnly marks observable-but-not-controllable locations.
+	ReadOnly bool
+}
+
+// Chain is a named scan chain: an ordered sequence of fields forming one
+// shift register through the device.
+type Chain struct {
+	name    string
+	fields  []Field
+	offsets []int // bit offset of each field
+	length  int
+}
+
+// NewChain validates the fields and assembles a chain.
+func NewChain(name string, fields []Field) (*Chain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("scan: chain name must not be empty")
+	}
+	c := &Chain{name: name}
+	seen := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("scan: chain %s: field with empty name", name)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("scan: chain %s: duplicate field %s", name, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Width < 1 || f.Width > 64 {
+			return nil, fmt.Errorf("scan: chain %s: field %s has width %d", name, f.Name, f.Width)
+		}
+		if f.Get == nil {
+			return nil, fmt.Errorf("scan: chain %s: field %s has no Get", name, f.Name)
+		}
+		if f.Set == nil && !f.ReadOnly {
+			return nil, fmt.Errorf("scan: chain %s: writable field %s has no Set", name, f.Name)
+		}
+		c.offsets = append(c.offsets, c.length)
+		c.fields = append(c.fields, f)
+		c.length += f.Width
+	}
+	return c, nil
+}
+
+// Name returns the chain's name.
+func (c *Chain) Name() string { return c.name }
+
+// Length returns the chain length in bits.
+func (c *Chain) Length() int { return c.length }
+
+// Fields returns a copy of the field descriptors in chain order.
+func (c *Chain) Fields() []Field { return append([]Field(nil), c.fields...) }
+
+// Capture reads every field into a fresh bit vector (the TAP's Capture-DR
+// action).
+func (c *Chain) Capture() Bits {
+	b := NewBits(c.length)
+	for i, f := range c.fields {
+		b.PutUint64(c.offsets[i], f.Width, f.Get())
+	}
+	return b
+}
+
+// Update drives the bit vector back into the device (the TAP's Update-DR
+// action). Read-only fields are skipped; their device state is untouched no
+// matter what the vector holds.
+func (c *Chain) Update(b Bits) error {
+	if b.Len() != c.length {
+		return fmt.Errorf("scan: chain %s: update with %d bits, chain has %d", c.name, b.Len(), c.length)
+	}
+	for i, f := range c.fields {
+		if f.ReadOnly || f.Set == nil {
+			continue
+		}
+		f.Set(b.Uint64(c.offsets[i], f.Width))
+	}
+	return nil
+}
+
+// Locate maps a chain bit index to the field it belongs to and the bit
+// position within that field.
+func (c *Chain) Locate(bit int) (field Field, bitInField int, err error) {
+	if bit < 0 || bit >= c.length {
+		return Field{}, 0, fmt.Errorf("scan: chain %s: bit %d out of range [0,%d)", c.name, bit, c.length)
+	}
+	for i, f := range c.fields {
+		if bit < c.offsets[i]+f.Width {
+			return f, bit - c.offsets[i], nil
+		}
+	}
+	// Unreachable: the loop always terminates for validated chains.
+	return Field{}, 0, fmt.Errorf("scan: chain %s: bit %d not located", c.name, bit)
+}
+
+// FieldOffset returns the bit offset of the named field within the chain.
+func (c *Chain) FieldOffset(name string) (offset, width int, err error) {
+	for i, f := range c.fields {
+		if f.Name == name {
+			return c.offsets[i], f.Width, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("scan: chain %s: no field %q", c.name, name)
+}
+
+// BitName renders a human-readable fault-location name for a chain bit,
+// e.g. "internal.core/R3[17]". These names appear in the TargetSystemData
+// and CampaignData tables.
+func (c *Chain) BitName(bit int) string {
+	f, i, err := c.Locate(bit)
+	if err != nil {
+		return fmt.Sprintf("%s/?[%d]", c.name, bit)
+	}
+	return fmt.Sprintf("%s/%s[%d]", c.name, f.Name, i)
+}
+
+// ParseBitName inverts BitName given the chain, returning the bit index.
+func (c *Chain) ParseBitName(name string) (int, error) {
+	rest, ok := strings.CutPrefix(name, c.name+"/")
+	if !ok {
+		return 0, fmt.Errorf("scan: %q does not belong to chain %s", name, c.name)
+	}
+	open := strings.LastIndexByte(rest, '[')
+	if open < 0 || !strings.HasSuffix(rest, "]") {
+		return 0, fmt.Errorf("scan: malformed bit name %q", name)
+	}
+	fieldName := rest[:open]
+	var bit int
+	if _, err := fmt.Sscanf(rest[open:], "[%d]", &bit); err != nil {
+		return 0, fmt.Errorf("scan: malformed bit index in %q", name)
+	}
+	off, width, err := c.FieldOffset(fieldName)
+	if err != nil {
+		return 0, err
+	}
+	if bit < 0 || bit >= width {
+		return 0, fmt.Errorf("scan: bit %d out of range for field %s (width %d)", bit, fieldName, width)
+	}
+	return off + bit, nil
+}
+
+// WritableBits returns the chain indices of every bit belonging to a
+// writable field — the legal fault-injection locations of this chain.
+func (c *Chain) WritableBits() []int {
+	var out []int
+	for i, f := range c.fields {
+		if f.ReadOnly || f.Set == nil {
+			continue
+		}
+		for b := 0; b < f.Width; b++ {
+			out = append(out, c.offsets[i]+b)
+		}
+	}
+	return out
+}

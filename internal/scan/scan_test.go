@@ -1,0 +1,566 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(10)
+	if b.Len() != 10 || b.OnesCount() != 0 {
+		t.Fatal("fresh vector not empty")
+	}
+	b.Set(3, true)
+	b.Flip(4)
+	b.Flip(3)
+	if b.Get(3) || !b.Get(4) || b.OnesCount() != 1 {
+		t.Fatalf("bits = %s", b)
+	}
+}
+
+func TestBitsUint64RoundTrip(t *testing.T) {
+	b := NewBits(80)
+	b.PutUint64(5, 40, 0xABCDE12345)
+	if got := b.Uint64(5, 40); got != 0xABCDE12345 {
+		t.Fatalf("got %#x", got)
+	}
+	// Neighbouring bits untouched.
+	if b.Get(4) || b.Get(45) {
+		t.Fatal("neighbours disturbed")
+	}
+}
+
+func TestBitsPackUnpack(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		b := NewBits(n)
+		for i := 0; i < n; i += 3 {
+			b.Set(i, true)
+		}
+		packed := b.Pack()
+		got, err := Unpack(packed, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(b) {
+			t.Fatalf("n=%d: %s != %s", n, got, b)
+		}
+	}
+	if _, err := Unpack([]byte{1, 2}, 3); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+// Property: pack/unpack round-trips arbitrary data.
+func TestBitsPackProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		n := len(data) * 8
+		b, err := Unpack(data, n)
+		if err != nil {
+			return false
+		}
+		packed := b.Pack()
+		if len(packed) != len(data) {
+			return false
+		}
+		for i := range data {
+			if packed[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsDiff(t *testing.T) {
+	a := NewBits(8)
+	b := NewBits(8)
+	a.Set(2, true)
+	b.Set(5, true)
+	d := a.Diff(b)
+	if len(d) != 2 || d[0] != 2 || d[1] != 5 {
+		t.Fatalf("diff = %v", d)
+	}
+	if len(a.Diff(a)) != 0 {
+		t.Fatal("self diff not empty")
+	}
+	short := NewBits(6)
+	if len(a.Diff(short)) < 2 {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+// testDevice is a fake chip with a couple of state elements.
+type testDevice struct {
+	regA uint32
+	regB uint16
+	ro   uint8
+	flag bool
+}
+
+func (d *testDevice) chain(t *testing.T) *Chain {
+	t.Helper()
+	c, err := NewChain("test", []Field{
+		{Name: "A", Width: 32,
+			Get: func() uint64 { return uint64(d.regA) },
+			Set: func(v uint64) { d.regA = uint32(v) }},
+		{Name: "B", Width: 16,
+			Get: func() uint64 { return uint64(d.regB) },
+			Set: func(v uint64) { d.regB = uint16(v) }},
+		{Name: "RO", Width: 8, ReadOnly: true,
+			Get: func() uint64 { return uint64(d.ro) }},
+		{Name: "F", Width: 1,
+			Get: func() uint64 {
+				if d.flag {
+					return 1
+				}
+				return 0
+			},
+			Set: func(v uint64) { d.flag = v&1 != 0 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChainValidation(t *testing.T) {
+	get := func() uint64 { return 0 }
+	set := func(uint64) {}
+	bad := [][]Field{
+		{{Name: "", Width: 1, Get: get, Set: set}},
+		{{Name: "x", Width: 0, Get: get, Set: set}},
+		{{Name: "x", Width: 65, Get: get, Set: set}},
+		{{Name: "x", Width: 1, Set: set}},
+		{{Name: "x", Width: 1, Get: get}}, // writable without Set
+		{{Name: "x", Width: 1, Get: get, Set: set}, {Name: "x", Width: 1, Get: get, Set: set}},
+	}
+	for i, fields := range bad {
+		if _, err := NewChain("c", fields); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := NewChain("", []Field{{Name: "x", Width: 1, Get: get, Set: set}}); err == nil {
+		t.Error("empty chain name should fail")
+	}
+}
+
+func TestChainCaptureUpdate(t *testing.T) {
+	d := &testDevice{regA: 0xDEADBEEF, regB: 0x1234, ro: 0x5A, flag: true}
+	c := d.chain(t)
+	if c.Length() != 32+16+8+1 {
+		t.Fatalf("length = %d", c.Length())
+	}
+	b := c.Capture()
+	if got := b.Uint64(0, 32); got != 0xDEADBEEF {
+		t.Fatalf("A = %#x", got)
+	}
+	if got := b.Uint64(48, 8); got != 0x5A {
+		t.Fatalf("RO = %#x", got)
+	}
+	if !b.Get(56) {
+		t.Fatal("flag bit clear")
+	}
+	// Modify A and the read-only field, write back.
+	b.PutUint64(0, 32, 0x0BADF00D)
+	b.PutUint64(48, 8, 0xFF)
+	if err := c.Update(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.regA != 0x0BADF00D {
+		t.Fatalf("A = %#x", d.regA)
+	}
+	if d.ro != 0x5A {
+		t.Fatal("read-only field was driven")
+	}
+	if err := c.Update(NewBits(3)); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestChainLocateAndBitName(t *testing.T) {
+	d := &testDevice{}
+	c := d.chain(t)
+	f, off, err := c.Locate(33)
+	if err != nil || f.Name != "B" || off != 1 {
+		t.Fatalf("Locate(33) = %v %d %v", f.Name, off, err)
+	}
+	if name := c.BitName(33); name != "test/B[1]" {
+		t.Fatalf("BitName = %q", name)
+	}
+	bit, err := c.ParseBitName("test/B[1]")
+	if err != nil || bit != 33 {
+		t.Fatalf("ParseBitName = %d, %v", bit, err)
+	}
+	if _, err := c.ParseBitName("other/B[1]"); err == nil {
+		t.Fatal("wrong chain prefix should fail")
+	}
+	if _, err := c.ParseBitName("test/B[99]"); err == nil {
+		t.Fatal("out-of-range bit should fail")
+	}
+	if _, err := c.ParseBitName("test/nope[0]"); err == nil {
+		t.Fatal("unknown field should fail")
+	}
+	if _, _, err := c.Locate(-1); err == nil {
+		t.Fatal("negative bit should fail")
+	}
+	if _, _, err := c.Locate(c.Length()); err == nil {
+		t.Fatal("past-end bit should fail")
+	}
+}
+
+// Property: BitName/ParseBitName round-trip for every bit of the chain.
+func TestBitNameRoundTripAllBits(t *testing.T) {
+	d := &testDevice{}
+	c := d.chain(t)
+	for i := 0; i < c.Length(); i++ {
+		got, err := c.ParseBitName(c.BitName(i))
+		if err != nil || got != i {
+			t.Fatalf("bit %d: got %d, %v", i, got, err)
+		}
+	}
+}
+
+func TestWritableBits(t *testing.T) {
+	d := &testDevice{}
+	c := d.chain(t)
+	w := c.WritableBits()
+	// 32 + 16 + 1 writable bits, RO excluded.
+	if len(w) != 49 {
+		t.Fatalf("writable = %d", len(w))
+	}
+	for _, bit := range w {
+		f, _, err := c.Locate(bit)
+		if err != nil || f.ReadOnly {
+			t.Fatalf("bit %d is not writable", bit)
+		}
+	}
+}
+
+func TestFieldOffset(t *testing.T) {
+	d := &testDevice{}
+	c := d.chain(t)
+	off, width, err := c.FieldOffset("RO")
+	if err != nil || off != 48 || width != 8 {
+		t.Fatalf("FieldOffset = %d %d %v", off, width, err)
+	}
+	if _, _, err := c.FieldOffset("missing"); err == nil {
+		t.Fatal("missing field should fail")
+	}
+}
+
+// --- TAP controller ---
+
+func newTestTAP(t *testing.T, d *testDevice) *TAP {
+	t.Helper()
+	tap, err := NewTAP(map[uint8]*Chain{0x01: d.chain(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tap
+}
+
+func TestTAPStateMachineReset(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	// From any state, five TMS-high clocks reach Test-Logic-Reset.
+	tap.Clock(false, false) // wander off
+	tap.Clock(true, false)
+	tap.Reset()
+	if tap.State() != StateRunTestIdle {
+		t.Fatalf("state = %v", tap.State())
+	}
+}
+
+func TestTAPWalkAllStates(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	// DR column: Idle -> Select-DR -> Capture -> Shift -> Exit1 -> Pause ->
+	// Exit2 -> Shift -> Exit1 -> Update -> Idle.
+	seq := []struct {
+		tms  bool
+		want TAPState
+	}{
+		{true, StateSelectDRScan},
+		{false, StateCaptureDR},
+		{false, StateShiftDR},
+		{true, StateExit1DR},
+		{false, StatePauseDR},
+		{true, StateExit2DR},
+		{false, StateShiftDR},
+		{true, StateExit1DR},
+		{true, StateUpdateDR},
+		{false, StateRunTestIdle},
+		// IR column.
+		{true, StateSelectDRScan},
+		{true, StateSelectIRScan},
+		{false, StateCaptureIR},
+		{false, StateShiftIR},
+		{true, StateExit1IR},
+		{false, StatePauseIR},
+		{true, StateExit2IR},
+		{true, StateUpdateIR},
+		{false, StateRunTestIdle},
+		// Select-IR with TMS high goes to Test-Logic-Reset.
+		{true, StateSelectDRScan},
+		{true, StateSelectIRScan},
+		{true, StateTestLogicReset},
+	}
+	for i, s := range seq {
+		tap.Clock(s.tms, false)
+		if tap.State() != s.want {
+			t.Fatalf("step %d: state = %v, want %v", i, tap.State(), s.want)
+		}
+	}
+}
+
+func TestTAPReadChain(t *testing.T) {
+	d := &testDevice{regA: 0xCAFEBABE, regB: 0x77, ro: 3, flag: true}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	bits, err := tap.ReadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bits.Uint64(0, 32); got != 0xCAFEBABE {
+		t.Fatalf("A = %#x", got)
+	}
+	// Read must not disturb device state.
+	if d.regA != 0xCAFEBABE || d.regB != 0x77 || !d.flag {
+		t.Fatal("read disturbed the device")
+	}
+}
+
+func TestTAPWriteChain(t *testing.T) {
+	d := &testDevice{regA: 1, regB: 2, ro: 9}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	bits, err := tap.ReadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits.PutUint64(0, 32, 0x55AA55AA)
+	bits.PutUint64(48, 8, 0xEE) // read-only: must be ignored
+	prev, err := tap.WriteChain(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prev.Uint64(0, 32); got != 1 {
+		t.Fatalf("previous A = %#x", got)
+	}
+	if d.regA != 0x55AA55AA || d.ro != 9 {
+		t.Fatalf("device: A=%#x RO=%d", d.regA, d.ro)
+	}
+}
+
+func TestTAPWriteWrongLength(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.WriteChain(NewBits(5)); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestTAPSelectUnknownChain(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("nope"); err == nil {
+		t.Fatal("unknown chain should fail")
+	}
+}
+
+func TestTAPBypassWhenNoChainSelected(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	tap.Reset() // IR = bypass
+	if _, err := tap.ReadChain(); err == nil {
+		t.Fatal("read in bypass should fail")
+	}
+}
+
+func TestTAPChainsListing(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	chains := tap.Chains()
+	if len(chains) != 1 || chains[0].Name() != "test" {
+		t.Fatalf("chains = %v", chains)
+	}
+	if _, err := tap.ChainByName("test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.ChainByName("zz"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+func TestNewTAPValidation(t *testing.T) {
+	if _, err := NewTAP(nil); err == nil {
+		t.Fatal("empty TAP should fail")
+	}
+	d := &testDevice{}
+	if _, err := NewTAP(map[uint8]*Chain{0xFF: d.chain(t)}); err == nil {
+		t.Fatal("bypass code should be rejected")
+	}
+	if _, err := NewTAP(map[uint8]*Chain{1: nil}); err == nil {
+		t.Fatal("nil chain should be rejected")
+	}
+}
+
+func TestTAPClockCounter(t *testing.T) {
+	d := &testDevice{}
+	tap := newTestTAP(t, d)
+	before := tap.Clocks()
+	tap.Reset()
+	if tap.Clocks() <= before {
+		t.Fatal("clock counter not advancing")
+	}
+}
+
+// Property: writing random patterns through the TAP and reading them back
+// returns the same pattern on writable fields.
+func TestTAPWriteReadProperty(t *testing.T) {
+	f := func(a uint32, bVal uint16, flag bool) bool {
+		d := &testDevice{}
+		tap, err := NewTAP(map[uint8]*Chain{1: deviceChain(d)})
+		if err != nil {
+			return false
+		}
+		tap.Reset()
+		if err := tap.SelectChain("test"); err != nil {
+			return false
+		}
+		bits, err := tap.ReadChain()
+		if err != nil {
+			return false
+		}
+		bits.PutUint64(0, 32, uint64(a))
+		bits.PutUint64(32, 16, uint64(bVal))
+		if flag {
+			bits.Set(56, true)
+		}
+		if _, err := tap.WriteChain(bits); err != nil {
+			return false
+		}
+		back, err := tap.ReadChain()
+		if err != nil {
+			return false
+		}
+		return back.Uint64(0, 32) == uint64(a) &&
+			back.Uint64(32, 16) == uint64(bVal) &&
+			back.Get(56) == flag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deviceChain builds the test chain without *testing.T for property tests.
+func deviceChain(d *testDevice) *Chain {
+	c, _ := NewChain("test", []Field{
+		{Name: "A", Width: 32,
+			Get: func() uint64 { return uint64(d.regA) },
+			Set: func(v uint64) { d.regA = uint32(v) }},
+		{Name: "B", Width: 16,
+			Get: func() uint64 { return uint64(d.regB) },
+			Set: func(v uint64) { d.regB = uint16(v) }},
+		{Name: "RO", Width: 8, ReadOnly: true,
+			Get: func() uint64 { return uint64(d.ro) }},
+		{Name: "F", Width: 1,
+			Get: func() uint64 {
+				if d.flag {
+					return 1
+				}
+				return 0
+			},
+			Set: func(v uint64) { d.flag = v&1 != 0 }},
+	})
+	return c
+}
+
+// TestShiftThroughPauseDR shifts a DR in two halves with a Pause-DR stop in
+// between — the standard's mechanism for hosts that cannot stream a whole
+// chain in one burst. The committed result must equal a single-burst shift.
+func TestShiftThroughPauseDR(t *testing.T) {
+	d := &testDevice{regA: 0xDEADBEEF, regB: 0x1234, ro: 0x5A, flag: true}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := tap.ChainByName("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ch.Length()
+	in := NewBits(n)
+	in.PutUint64(0, 32, 0x0BADF00D)
+	in.PutUint64(32, 16, 0x4321)
+	in.Set(56, true)
+
+	// Manual drive: Idle -> Select-DR -> Capture -> Shift.
+	tap.Clock(true, false)
+	tap.Clock(false, false)
+	tap.Clock(false, false)
+	half := n / 2
+	// First burst: bits 0..half-1. Per the standard, the clock that exits
+	// Shift-DR still shifts, so the burst's last bit rides the TMS=1 edge.
+	for k := 0; k < half-1; k++ {
+		tap.Clock(false, in[k])
+	}
+	tap.Clock(true, in[half-1]) // -> Exit1-DR, shifting the half-1 bit
+	tap.Clock(false, false)     // Pause-DR (no shift)
+	tap.Clock(false, false)     // stay paused a cycle
+	tap.Clock(true, false)      // Exit2-DR
+	tap.Clock(false, false)     // re-enter Shift-DR (no shift on entry)
+	// Second burst: bits half..n-1, last one on the exit edge again.
+	for k := half; k < n-1; k++ {
+		tap.Clock(false, in[k])
+	}
+	tap.Clock(true, in[n-1]) // -> Exit1-DR
+	tap.Clock(true, false)   // Update-DR
+	tap.Clock(false, false)  // Idle
+
+	if d.regA != 0x0BADF00D || d.regB != 0x4321 || !d.flag {
+		t.Fatalf("device after paused shift: A=%#x B=%#x flag=%v", d.regA, d.regB, d.flag)
+	}
+	if d.ro != 0x5A {
+		t.Fatal("read-only field driven")
+	}
+}
+
+func TestChainWithOnlyReadOnlyFields(t *testing.T) {
+	c, err := NewChain("ro", []Field{
+		{Name: "counter", Width: 16, ReadOnly: true, Get: func() uint64 { return 42 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.WritableBits()) != 0 {
+		t.Fatal("read-only chain reports writable bits")
+	}
+	bits := c.Capture()
+	if bits.Uint64(0, 16) != 42 {
+		t.Fatal("capture wrong")
+	}
+	bits.PutUint64(0, 16, 7)
+	if err := c.Update(bits); err != nil {
+		t.Fatal(err)
+	}
+	if c.Capture().Uint64(0, 16) != 42 {
+		t.Fatal("read-only field changed")
+	}
+}

@@ -1,0 +1,318 @@
+package scan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TAPState is a state of the IEEE 1149.1 TAP controller state machine.
+type TAPState int
+
+// The sixteen TAP controller states.
+const (
+	StateTestLogicReset TAPState = iota + 1
+	StateRunTestIdle
+	StateSelectDRScan
+	StateCaptureDR
+	StateShiftDR
+	StateExit1DR
+	StatePauseDR
+	StateExit2DR
+	StateUpdateDR
+	StateSelectIRScan
+	StateCaptureIR
+	StateShiftIR
+	StateExit1IR
+	StatePauseIR
+	StateExit2IR
+	StateUpdateIR
+)
+
+var tapStateNames = map[TAPState]string{
+	StateTestLogicReset: "Test-Logic-Reset",
+	StateRunTestIdle:    "Run-Test/Idle",
+	StateSelectDRScan:   "Select-DR-Scan",
+	StateCaptureDR:      "Capture-DR",
+	StateShiftDR:        "Shift-DR",
+	StateExit1DR:        "Exit1-DR",
+	StatePauseDR:        "Pause-DR",
+	StateExit2DR:        "Exit2-DR",
+	StateUpdateDR:       "Update-DR",
+	StateSelectIRScan:   "Select-IR-Scan",
+	StateCaptureIR:      "Capture-IR",
+	StateShiftIR:        "Shift-IR",
+	StateExit1IR:        "Exit1-IR",
+	StatePauseIR:        "Pause-IR",
+	StateExit2IR:        "Exit2-IR",
+	StateUpdateIR:       "Update-IR",
+}
+
+// String returns the standard state name.
+func (s TAPState) String() string {
+	if n, ok := tapStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("TAPState(%d)", int(s))
+}
+
+// tapNext encodes the 1149.1 state transition table: next[state][tms].
+var tapNext = map[TAPState][2]TAPState{
+	StateTestLogicReset: {StateRunTestIdle, StateTestLogicReset},
+	StateRunTestIdle:    {StateRunTestIdle, StateSelectDRScan},
+	StateSelectDRScan:   {StateCaptureDR, StateSelectIRScan},
+	StateCaptureDR:      {StateShiftDR, StateExit1DR},
+	StateShiftDR:        {StateShiftDR, StateExit1DR},
+	StateExit1DR:        {StatePauseDR, StateUpdateDR},
+	StatePauseDR:        {StatePauseDR, StateExit2DR},
+	StateExit2DR:        {StateShiftDR, StateUpdateDR},
+	StateUpdateDR:       {StateRunTestIdle, StateSelectDRScan},
+	StateSelectIRScan:   {StateCaptureIR, StateTestLogicReset},
+	StateCaptureIR:      {StateShiftIR, StateExit1IR},
+	StateShiftIR:        {StateShiftIR, StateExit1IR},
+	StateExit1IR:        {StatePauseIR, StateUpdateIR},
+	StatePauseIR:        {StatePauseIR, StateExit2IR},
+	StateExit2IR:        {StateShiftIR, StateUpdateIR},
+	StateUpdateIR:       {StateRunTestIdle, StateSelectDRScan},
+}
+
+// irWidth is the instruction-register width: chain select codes are 8 bits.
+const irWidth = 8
+
+// The bypass chain is selected in Test-Logic-Reset and by unknown IR codes,
+// per the standard.
+const irBypass uint8 = 0xFF
+
+// TAP is the chip's test access port: the only path from the GOOFI host to
+// the device's scan chains. Chains register under an 8-bit IR code.
+type TAP struct {
+	state    TAPState
+	ir       uint8 // committed instruction register
+	irShift  uint8 // IR shift stage
+	drShift  Bits  // DR shift stage for the selected chain
+	bypass   bool  // one-bit bypass register value
+	chains   map[uint8]*Chain
+	clocks   uint64 // TCK count, a cheap progress metric for benchmarks
+	captured bool   // drShift holds a captured value
+}
+
+// NewTAP builds a TAP controller over the given chains keyed by IR code.
+func NewTAP(chains map[uint8]*Chain) (*TAP, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("scan: TAP needs at least one chain")
+	}
+	for code, ch := range chains {
+		if code == irBypass {
+			return nil, fmt.Errorf("scan: IR code %#02x is reserved for bypass", irBypass)
+		}
+		if ch == nil {
+			return nil, fmt.Errorf("scan: nil chain at IR code %#02x", code)
+		}
+	}
+	cs := make(map[uint8]*Chain, len(chains))
+	for code, ch := range chains {
+		cs[code] = ch
+	}
+	return &TAP{state: StateTestLogicReset, ir: irBypass, chains: cs}, nil
+}
+
+// State returns the current controller state.
+func (t *TAP) State() TAPState { return t.state }
+
+// Clocks returns the number of TCK cycles applied since creation.
+func (t *TAP) Clocks() uint64 { return t.clocks }
+
+// Chains returns the registered chains sorted by IR code.
+func (t *TAP) Chains() []*Chain {
+	codes := make([]int, 0, len(t.chains))
+	for c := range t.chains {
+		codes = append(codes, int(c))
+	}
+	sort.Ints(codes)
+	out := make([]*Chain, 0, len(codes))
+	for _, c := range codes {
+		out = append(out, t.chains[uint8(c)])
+	}
+	return out
+}
+
+// ChainByName returns the chain with the given name.
+func (t *TAP) ChainByName(name string) (*Chain, error) {
+	for _, ch := range t.chains {
+		if ch.Name() == name {
+			return ch, nil
+		}
+	}
+	return nil, fmt.Errorf("scan: no chain named %q", name)
+}
+
+// selected returns the chain addressed by the committed IR, or nil (bypass).
+func (t *TAP) selected() *Chain {
+	if ch, ok := t.chains[t.ir]; ok {
+		return ch
+	}
+	return nil
+}
+
+// Clock advances the TAP by one TCK cycle with the given TMS and TDI pin
+// values and returns TDO.
+func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
+	t.clocks++
+	// TDO reflects the shift stage output of the current state.
+	switch t.state {
+	case StateShiftIR:
+		tdo = t.irShift&1 != 0
+	case StateShiftDR:
+		if ch := t.selected(); ch != nil {
+			if len(t.drShift) > 0 {
+				tdo = t.drShift[0]
+			}
+		} else {
+			tdo = t.bypass
+		}
+	}
+
+	next := tapNext[t.state]
+	var idx int
+	if tms {
+		idx = 1
+	}
+	newState := next[idx]
+
+	// Perform the action of the state being entered / the shift of the
+	// current state, per the standard's TCK-rising semantics.
+	switch t.state {
+	case StateShiftIR:
+		t.irShift >>= 1
+		if tdi {
+			t.irShift |= 1 << (irWidth - 1)
+		}
+	case StateShiftDR:
+		if ch := t.selected(); ch != nil {
+			copy(t.drShift, t.drShift[1:])
+			if n := len(t.drShift); n > 0 {
+				t.drShift[n-1] = tdi
+			}
+		} else {
+			t.bypass = tdi
+		}
+	}
+
+	switch newState {
+	case StateTestLogicReset:
+		t.ir = irBypass
+		t.captured = false
+	case StateCaptureIR:
+		t.irShift = 0x01 // standard: capture b01 pattern
+	case StateUpdateIR:
+		t.ir = t.irShift
+	case StateCaptureDR:
+		if ch := t.selected(); ch != nil {
+			t.drShift = ch.Capture()
+			t.captured = true
+		} else {
+			t.bypass = false
+		}
+	case StateUpdateDR:
+		if ch := t.selected(); ch != nil && t.captured {
+			// Chain lengths always match here: drShift came from Capture.
+			_ = ch.Update(t.drShift)
+		}
+	}
+	t.state = newState
+	return tdo
+}
+
+// --- Host-side driver built purely on Clock ---
+
+// Reset drives five TMS-high clocks, guaranteeing Test-Logic-Reset from any
+// state.
+func (t *TAP) Reset() {
+	for i := 0; i < 5; i++ {
+		t.Clock(true, false)
+	}
+	t.Clock(false, false) // settle in Run-Test/Idle
+}
+
+// SelectChain shifts the IR code for the named chain, committing it. The
+// controller ends in Run-Test/Idle.
+func (t *TAP) SelectChain(name string) error {
+	var code uint8
+	found := false
+	for c, ch := range t.chains {
+		if ch.Name() == name {
+			code, found = c, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("scan: no chain named %q", name)
+	}
+	// Run-Test/Idle -> Select-DR -> Select-IR -> Capture-IR.
+	t.Clock(true, false)
+	t.Clock(true, false)
+	t.Clock(false, false)
+	// Shift-IR: present irWidth bits, LSB first; assert TMS on the last bit
+	// to fall through Exit1-IR.
+	t.Clock(false, false) // enter Shift-IR
+	for i := 0; i < irWidth; i++ {
+		tdi := code&(1<<uint(i)) != 0
+		tms := i == irWidth-1
+		t.Clock(tms, tdi)
+	}
+	t.Clock(true, false)  // Exit1-IR -> Update-IR
+	t.Clock(false, false) // -> Run-Test/Idle
+	return nil
+}
+
+// shiftDR clocks the data register of the selected chain: it captures the
+// device state, shifts `in` through the chain (in[i] lands on chain bit i)
+// while collecting the outgoing bits, and optionally commits with Update-DR.
+// The returned vector is the captured device state, bit i = chain bit i.
+func (t *TAP) shiftDR(in Bits, update bool) (Bits, error) {
+	ch := t.selected()
+	if ch == nil {
+		return nil, fmt.Errorf("scan: no chain selected (IR=%#02x)", t.ir)
+	}
+	n := ch.Length()
+	if in != nil && in.Len() != n {
+		return nil, fmt.Errorf("scan: shift of %d bits into chain %s of length %d", in.Len(), ch.Name(), n)
+	}
+	out := NewBits(n)
+	// Run-Test/Idle -> Select-DR -> Capture-DR -> Shift-DR.
+	t.Clock(true, false)
+	t.Clock(false, false)
+	t.Clock(false, false)
+	// Shift n bits. Chain bit 0 exits first, and after n clocks the bit
+	// presented at clock k rests at chain position k, so the vector is
+	// presented in order. TMS rises on the final bit to exit to Exit1-DR.
+	for k := 0; k < n; k++ {
+		var tdi bool
+		if in != nil {
+			tdi = in[k]
+		}
+		tms := k == n-1
+		out[k] = t.Clock(tms, tdi)
+	}
+	if !update {
+		// The standard offers no Update-free exit from Exit1-DR; a real
+		// driver makes reads non-destructive by shifting the captured
+		// stream back in on a second pass. Model that second pass by
+		// restoring the shift stage before passing through Update-DR.
+		t.drShift = out.Clone()
+	}
+	t.Clock(true, false)  // Exit1-DR -> Update-DR
+	t.Clock(false, false) // -> Run-Test/Idle
+	return out, nil
+}
+
+// ReadChain captures and returns the selected chain's contents, restoring
+// the captured value on update so the device state is unchanged.
+func (t *TAP) ReadChain() (Bits, error) {
+	return t.shiftDR(nil, false)
+}
+
+// WriteChain shifts the vector into the selected chain and commits it.
+// It returns the previous contents.
+func (t *TAP) WriteChain(b Bits) (Bits, error) {
+	return t.shiftDR(b, true)
+}

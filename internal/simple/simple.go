@@ -1,0 +1,206 @@
+// Package simple implements a second, deliberately minimal target processor:
+// a 16-bit accumulator machine. It exists to exercise the paper's §2.2
+// porting story — "adapting GOOFI to new target systems" — end to end: the
+// machine has no scan chains and no debug logic, so its target adapter
+// (target.SimpleTarget) implements only the memory-port subset of the
+// Framework operations and supports pre-runtime SWIFI campaigns only.
+package simple
+
+import "fmt"
+
+// MemWords is the machine's memory size in 16-bit words.
+const MemWords = 4096
+
+// Op is a 4-bit opcode; instructions are op<<12 | operand.
+type Op uint16
+
+// Instruction set of the accumulator machine.
+const (
+	OpHALT  Op = 0x0 // stop, workload complete
+	OpLOAD  Op = 0x1 // A = mem[operand]
+	OpSTORE Op = 0x2 // mem[operand] = A
+	OpADD   Op = 0x3 // A += mem[operand]
+	OpSUB   Op = 0x4 // A -= mem[operand]
+	OpJMP   Op = 0x5 // PC = operand
+	OpJNZ   Op = 0x6 // if A != 0: PC = operand
+	OpLDI   Op = 0x7 // A = operand (12-bit immediate)
+	OpOUT   Op = 0x8 // append A to the output log
+)
+
+// Status mirrors the execution states of the main target's processor.
+type Status int
+
+// Execution states.
+const (
+	StatusRunning Status = iota + 1
+	StatusHalted
+	StatusDetected
+)
+
+// Error detection mechanisms of the simple machine. It has only two.
+const (
+	EDMIllegalOpcode = "illegal-opcode"
+	EDMAccess        = "access-violation"
+)
+
+// Machine is the accumulator CPU.
+type Machine struct {
+	// A is the accumulator; PC the program counter.
+	A  uint16
+	PC uint16
+
+	mem       [MemWords]uint16
+	status    Status
+	mechanism string
+	cycles    uint64
+	out       []uint16
+}
+
+// New builds a machine in its reset state.
+func New() *Machine {
+	return &Machine{status: StatusRunning}
+}
+
+// Reset clears registers and status; memory is preserved (the host reloads
+// it explicitly, as on the main target).
+func (m *Machine) Reset() {
+	m.A = 0
+	m.PC = 0
+	m.status = StatusRunning
+	m.mechanism = ""
+	m.cycles = 0
+	m.out = nil
+}
+
+// Status returns the execution state.
+func (m *Machine) Status() Status { return m.status }
+
+// Mechanism returns the EDM that fired, or "".
+func (m *Machine) Mechanism() string { return m.mechanism }
+
+// Cycles returns the executed instruction count.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Output returns the values emitted by OUT.
+func (m *Machine) Output() []uint16 { return append([]uint16(nil), m.out...) }
+
+// Read returns memory word addr via the host port.
+func (m *Machine) Read(addr uint16) (uint16, error) {
+	if int(addr) >= MemWords {
+		return 0, fmt.Errorf("simple: host read at %#x out of range", addr)
+	}
+	return m.mem[addr], nil
+}
+
+// Write stores a memory word via the host port.
+func (m *Machine) Write(addr, v uint16) error {
+	if int(addr) >= MemWords {
+		return fmt.Errorf("simple: host write at %#x out of range", addr)
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+func (m *Machine) detect(mechanism string) Status {
+	m.status = StatusDetected
+	m.mechanism = mechanism
+	return m.status
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() Status {
+	if m.status != StatusRunning {
+		return m.status
+	}
+	if int(m.PC) >= MemWords {
+		return m.detect(EDMAccess)
+	}
+	w := m.mem[m.PC]
+	op := Op(w >> 12)
+	operand := w & 0x0FFF
+	m.PC++
+	m.cycles++
+	switch op {
+	case OpHALT:
+		m.status = StatusHalted
+	case OpLOAD:
+		m.A = m.mem[operand]
+	case OpSTORE:
+		m.mem[operand] = m.A
+	case OpADD:
+		m.A += m.mem[operand]
+	case OpSUB:
+		m.A -= m.mem[operand]
+	case OpJMP:
+		m.PC = operand
+	case OpJNZ:
+		if m.A != 0 {
+			m.PC = operand
+		}
+	case OpLDI:
+		m.A = operand
+	case OpOUT:
+		m.out = append(m.out, m.A)
+	default:
+		return m.detect(EDMIllegalOpcode)
+	}
+	return m.status
+}
+
+// Run executes until the machine stops or maxSteps is reached.
+func (m *Machine) Run(maxSteps uint64) Status {
+	for i := uint64(0); i < maxSteps; i++ {
+		if m.Step() != StatusRunning {
+			break
+		}
+	}
+	return m.status
+}
+
+// Encode packs an instruction.
+func Encode(op Op, operand uint16) uint16 {
+	return uint16(op)<<12 | operand&0x0FFF
+}
+
+// ChecksumProgram is the machine's built-in workload: it sums the N words at
+// dataBase into resultAddr and halts. The program starts at address 0.
+//
+// Layout: the loop counter lives at cntAddr, a running pointer is emulated
+// by self-incrementing the LOAD instruction's operand (classic accumulator-
+// machine self-modifying code — which conveniently gives pre-runtime SWIFI
+// code faults interesting consequences).
+func ChecksumProgram(dataBase, n, resultAddr uint16) []uint16 {
+	// Addresses used by the program's variables.
+	const (
+		accAddr = 0x100 // running sum
+		cntAddr = 0x101 // remaining count
+		oneAddr = 0x102 // constant 1
+	)
+	prog := []uint16{
+		/* 0 */ Encode(OpLDI, 0),
+		/* 1 */ Encode(OpSTORE, accAddr),
+		/* 2 */ Encode(OpLDI, n),
+		/* 3 */ Encode(OpSTORE, cntAddr),
+		/* 4 */ Encode(OpLDI, 1),
+		/* 5 */ Encode(OpSTORE, oneAddr),
+		// loop:
+		/* 6 */ Encode(OpLOAD, dataBase), // operand patched each round
+		/* 7 */ Encode(OpADD, accAddr),
+		/* 8 */ Encode(OpSTORE, accAddr),
+		// increment the LOAD instruction's operand (self-modifying code).
+		/* 9 */ Encode(OpLOAD, 6),
+		/* 10 */ Encode(OpADD, oneAddr),
+		/* 11 */ Encode(OpSTORE, 6),
+		// count down.
+		/* 12 */ Encode(OpLOAD, cntAddr),
+		/* 13 */ Encode(OpSUB, oneAddr),
+		/* 14 */ Encode(OpSTORE, cntAddr),
+		/* 15 */ Encode(OpJNZ, 6),
+		// done: copy the sum to the result address and emit it.
+		/* 16 */ Encode(OpLOAD, accAddr),
+		/* 17 */ Encode(OpSTORE, resultAddr),
+		/* 18 */ Encode(OpOUT, 0),
+		/* 19 */ Encode(OpHALT, 0),
+	}
+	return prog
+}

@@ -1,0 +1,143 @@
+package simple
+
+import "testing"
+
+func TestChecksumProgramGoldenRun(t *testing.T) {
+	m := New()
+	prog := ChecksumProgram(0x200, 16, 0x300)
+	for i, w := range prog {
+		if err := m.Write(uint16(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if err := m.Write(0x200+uint16(i), uint16(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Run(5000); st != StatusHalted {
+		t.Fatalf("status = %v (%s)", st, m.Mechanism())
+	}
+	got, err := m.Read(0x300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 136 { // 1+2+...+16
+		t.Fatalf("checksum = %d", got)
+	}
+	out := m.Output()
+	if len(out) != 1 || out[0] != 136 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestInstructionSemantics(t *testing.T) {
+	m := New()
+	prog := []uint16{
+		Encode(OpLDI, 10),
+		Encode(OpSTORE, 0x100),
+		Encode(OpLDI, 3),
+		Encode(OpADD, 0x100), // A = 13
+		Encode(OpSUB, 0x100), // A = 3
+		Encode(OpOUT, 0),
+		Encode(OpJMP, 8),
+		Encode(OpHALT, 0), // skipped
+		Encode(OpLDI, 0),
+		Encode(OpJNZ, 11), // not taken (A == 0)
+		Encode(OpHALT, 0),
+		Encode(OpOUT, 0), // unreachable
+	}
+	for i, w := range prog {
+		if err := m.Write(uint16(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Run(100); st != StatusHalted {
+		t.Fatalf("status = %v", st)
+	}
+	out := m.Output()
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestJNZTaken(t *testing.T) {
+	m := New()
+	prog := []uint16{
+		Encode(OpLDI, 2),
+		Encode(OpJNZ, 3),
+		Encode(OpHALT, 0),
+		Encode(OpOUT, 0),
+		Encode(OpHALT, 0),
+	}
+	for i, w := range prog {
+		if err := m.Write(uint16(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Run(100)
+	if len(m.Output()) != 1 {
+		t.Fatal("JNZ not taken")
+	}
+}
+
+func TestIllegalOpcodeDetected(t *testing.T) {
+	m := New()
+	if err := m.Write(0, 0xF000); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Run(10); st != StatusDetected || m.Mechanism() != EDMIllegalOpcode {
+		t.Fatalf("status=%v mech=%s", st, m.Mechanism())
+	}
+}
+
+func TestPCOutOfRangeDetected(t *testing.T) {
+	m := New()
+	// JMP to the last word, execute through the end of memory.
+	if err := m.Write(0, Encode(OpJMP, 0xFFF)); err != nil {
+		t.Fatal(err)
+	}
+	// 0xFFF holds 0 = HALT; replace with LDI so PC walks off the end.
+	if err := m.Write(0xFFF, Encode(OpLDI, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Run(10); st != StatusDetected || m.Mechanism() != EDMAccess {
+		t.Fatalf("status=%v mech=%s", st, m.Mechanism())
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := New()
+	if err := m.Write(0, Encode(OpJMP, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Run(50); st != StatusRunning || m.Cycles() != 50 {
+		t.Fatalf("status=%v cycles=%d", st, m.Cycles())
+	}
+}
+
+func TestHostAccessBounds(t *testing.T) {
+	m := New()
+	if _, err := m.Read(MemWords); err == nil {
+		t.Fatal("read out of range should fail")
+	}
+	if err := m.Write(MemWords, 0); err == nil {
+		t.Fatal("write out of range should fail")
+	}
+}
+
+func TestResetPreservesMemory(t *testing.T) {
+	m := New()
+	if err := m.Write(5, 99); err != nil {
+		t.Fatal(err)
+	}
+	m.A = 7
+	m.Reset()
+	if m.A != 0 || m.PC != 0 || m.Status() != StatusRunning {
+		t.Fatal("reset incomplete")
+	}
+	v, _ := m.Read(5)
+	if v != 99 {
+		t.Fatal("reset cleared memory")
+	}
+}

@@ -1,0 +1,277 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Exported error values callers can match with errors.Is.
+var (
+	// ErrNoSuchTable is returned when a statement names an unknown table.
+	ErrNoSuchTable = errors.New("no such table")
+	// ErrTableExists is returned by CREATE TABLE for an existing table.
+	ErrTableExists = errors.New("table already exists")
+	// ErrConstraint is returned when a NOT NULL, UNIQUE or PRIMARY KEY
+	// constraint is violated.
+	ErrConstraint = errors.New("constraint violation")
+	// ErrForeignKey is returned when a FOREIGN KEY constraint is violated.
+	// The paper (§2.3) relies on these to keep campaign data consistent.
+	ErrForeignKey = errors.New("foreign key constraint violation")
+)
+
+// DB is an in-memory relational database with optional file persistence.
+// All methods are safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table // keyed by lower-cased name
+	order  []string          // creation order of lower-cased names
+}
+
+// table holds the definition and rows of one table.
+type table struct {
+	def     createTableStmt
+	rows    [][]Value
+	pkIndex map[string]int // PK key -> index in rows; nil when table has no PK
+	colIdx  map[string]int // lower-cased column name -> position
+}
+
+// Result reports the effect of a non-query statement.
+type Result struct {
+	// RowsAffected counts rows inserted, updated or deleted.
+	RowsAffected int64
+}
+
+// Rows is the fully materialised result of a query.
+type Rows struct {
+	// Columns holds the output column names in order.
+	Columns []string
+	// Data holds one slice per result row.
+	Data [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// Exec parses and executes a statement that does not return rows.
+// Parameters referenced with ? bind to args in order.
+func (db *DB) Exec(query string, args ...Value) (Result, error) {
+	st, err := parse(query)
+	if err != nil {
+		return Result{}, fmt.Errorf("exec %q: %w", abbreviate(query), err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := st.(type) {
+	case *createTableStmt:
+		return Result{}, db.execCreate(s)
+	case *dropTableStmt:
+		return Result{}, db.execDrop(s)
+	case *insertStmt:
+		return db.execInsert(s, args)
+	case *updateStmt:
+		return db.execUpdate(s, args)
+	case *deleteStmt:
+		return db.execDelete(s, args)
+	case *selectStmt:
+		return Result{}, fmt.Errorf("exec %q: use Query for SELECT", abbreviate(query))
+	default:
+		return Result{}, fmt.Errorf("exec %q: unsupported statement", abbreviate(query))
+	}
+}
+
+// Query parses and executes a SELECT, returning the materialised rows.
+func (db *DB) Query(query string, args ...Value) (*Rows, error) {
+	st, err := parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("query %q: %w", abbreviate(query), err)
+	}
+	sel, ok := st.(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("query %q: not a SELECT statement", abbreviate(query))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, err := db.execSelect(sel, args)
+	if err != nil {
+		return nil, fmt.Errorf("query %q: %w", abbreviate(query), err)
+	}
+	return rows, nil
+}
+
+// QueryRow runs a query expected to return exactly one row and returns it.
+func (db *DB) QueryRow(query string, args ...Value) ([]Value, error) {
+	rows, err := db.Query(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() != 1 {
+		return nil, fmt.Errorf("query %q: expected 1 row, got %d", abbreviate(query), rows.Len())
+	}
+	return rows.Data[0], nil
+}
+
+// Tables returns the table names in creation order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.order))
+	for _, name := range db.order {
+		out = append(out, db.tables[name].def.Name)
+	}
+	return out
+}
+
+// TableSchema describes a table for introspection.
+type TableSchema struct {
+	Name        string
+	Columns     []ColumnSchema
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeySchema
+}
+
+// ColumnSchema describes one column.
+type ColumnSchema struct {
+	Name    string
+	Type    ColType
+	NotNull bool
+	Unique  bool
+}
+
+// ForeignKeySchema describes one foreign-key constraint.
+type ForeignKeySchema struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Schema returns the schema of the named table.
+func (db *DB) Schema(name string) (TableSchema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return TableSchema{}, fmt.Errorf("schema: %w: %s", ErrNoSuchTable, name)
+	}
+	ts := TableSchema{Name: t.def.Name}
+	for _, c := range t.def.Columns {
+		ts.Columns = append(ts.Columns, ColumnSchema{Name: c.Name, Type: c.Type, NotNull: c.NotNull, Unique: c.Unique})
+	}
+	ts.PrimaryKey = append(ts.PrimaryKey, t.def.PrimaryKey...)
+	for _, fk := range t.def.ForeignKeys {
+		ts.ForeignKeys = append(ts.ForeignKeys, ForeignKeySchema{
+			Columns:    append([]string(nil), fk.Columns...),
+			RefTable:   fk.RefTable,
+			RefColumns: append([]string(nil), fk.RefColumns...),
+		})
+	}
+	return ts, nil
+}
+
+// RowCount returns the number of rows stored in the named table.
+func (db *DB) RowCount(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("rowcount: %w: %s", ErrNoSuchTable, name)
+	}
+	return len(t.rows), nil
+}
+
+func abbreviate(q string) string {
+	q = strings.Join(strings.Fields(q), " ")
+	if len(q) > 60 {
+		return q[:57] + "..."
+	}
+	return q
+}
+
+// --- DDL execution ---
+
+func (db *DB) execCreate(s *createTableStmt) error {
+	key := strings.ToLower(s.Name)
+	if _, exists := db.tables[key]; exists {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("create table: %w: %s", ErrTableExists, s.Name)
+	}
+	colIdx := make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if _, dup := colIdx[lc]; dup {
+			return fmt.Errorf("create table %s: duplicate column %s", s.Name, c.Name)
+		}
+		colIdx[lc] = i
+	}
+	for _, pk := range s.PrimaryKey {
+		if _, ok := colIdx[strings.ToLower(pk)]; !ok {
+			return fmt.Errorf("create table %s: PRIMARY KEY names unknown column %s", s.Name, pk)
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		for _, c := range fk.Columns {
+			if _, ok := colIdx[strings.ToLower(c)]; !ok {
+				return fmt.Errorf("create table %s: FOREIGN KEY names unknown column %s", s.Name, c)
+			}
+		}
+		// Self-references (e.g. LoggedSystemState.parentExperiment) resolve
+		// against the table being created.
+		refCols := colIdx
+		if !strings.EqualFold(fk.RefTable, s.Name) {
+			ref, ok := db.tables[strings.ToLower(fk.RefTable)]
+			if !ok {
+				return fmt.Errorf("create table %s: %w: referenced table %s", s.Name, ErrNoSuchTable, fk.RefTable)
+			}
+			refCols = ref.colIdx
+		}
+		for _, rc := range fk.RefColumns {
+			if _, ok := refCols[strings.ToLower(rc)]; !ok {
+				return fmt.Errorf("create table %s: FOREIGN KEY references unknown column %s.%s", s.Name, fk.RefTable, rc)
+			}
+		}
+	}
+	t := &table{def: *s, colIdx: colIdx}
+	if len(s.PrimaryKey) > 0 {
+		t.pkIndex = make(map[string]int)
+	}
+	db.tables[key] = t
+	db.order = append(db.order, key)
+	return nil
+}
+
+func (db *DB) execDrop(s *dropTableStmt) error {
+	key := strings.ToLower(s.Name)
+	if _, ok := db.tables[key]; !ok {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("drop table: %w: %s", ErrNoSuchTable, s.Name)
+	}
+	// Refuse to drop a table that other tables reference.
+	for _, other := range db.tables {
+		if strings.EqualFold(other.def.Name, s.Name) {
+			continue
+		}
+		for _, fk := range other.def.ForeignKeys {
+			if strings.EqualFold(fk.RefTable, s.Name) {
+				return fmt.Errorf("drop table %s: %w: referenced by %s", s.Name, ErrForeignKey, other.def.Name)
+			}
+		}
+	}
+	delete(db.tables, key)
+	for i, n := range db.order {
+		if n == key {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mustExec is a test helper running a statement that must succeed.
+func mustExec(t *testing.T, db *DB, q string, args ...Value) Result {
+	t.Helper()
+	res, err := db.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("exec %q: %v", q, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, q string, args ...Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return rows
+}
+
+func newGOOFISchema(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE TargetSystemData (
+		testCardName TEXT PRIMARY KEY,
+		description TEXT
+	)`)
+	mustExec(t, db, `CREATE TABLE CampaignData (
+		campaignName TEXT PRIMARY KEY,
+		testCardName TEXT NOT NULL,
+		nExperiments INTEGER,
+		FOREIGN KEY (testCardName) REFERENCES TargetSystemData (testCardName)
+	)`)
+	mustExec(t, db, `CREATE TABLE LoggedSystemState (
+		experimentName TEXT PRIMARY KEY,
+		parentExperiment TEXT,
+		campaignName TEXT NOT NULL,
+		experimentData TEXT,
+		stateVector BLOB,
+		FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName),
+		FOREIGN KEY (parentExperiment) REFERENCES LoggedSystemState (experimentName)
+	)`)
+	return db
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER)"); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("err = %v, want ErrTableExists", err)
+	}
+	mustExec(t, db, "CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER, a TEXT)"); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER, PRIMARY KEY (zz))"); err == nil {
+		t.Fatal("PK over unknown column should fail")
+	}
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER, FOREIGN KEY (a) REFERENCES missing (x))"); !errorsIsNoTable(err) {
+		t.Fatalf("FK to missing table: err = %v", err)
+	}
+}
+
+func errorsIsNoTable(err error) bool { return errors.Is(err, ErrNoSuchTable) }
+
+func TestInsertAndSelectBasic(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT)")
+	res := mustExec(t, db, "INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT a, b FROM t ORDER BY a")
+	if rows.Len() != 2 || rows.Data[0][1].Text != "one" || rows.Data[1][0].Int != 2 {
+		t.Fatalf("rows = %+v", rows.Data)
+	}
+	if rows.Columns[0] != "a" || rows.Columns[1] != "b" {
+		t.Fatalf("columns = %v", rows.Columns)
+	}
+}
+
+func TestInsertColumnSubsetAndDefaults(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT DEFAULT 'dflt', c REAL)")
+	mustExec(t, db, "INSERT INTO t (a) VALUES (1)")
+	row, err := db.QueryRow("SELECT a, b, c FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1].Text != "dflt" {
+		t.Fatalf("default not applied: %+v", row)
+	}
+	if !row[2].IsNull() {
+		t.Fatalf("unset column should be NULL: %+v", row)
+	}
+}
+
+func TestInsertParams(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b TEXT, c BLOB)")
+	mustExec(t, db, "INSERT INTO t VALUES (?, ?, ?)", Int64(7), Text("x"), Blob([]byte{9}))
+	row, err := db.QueryRow("SELECT a, b, c FROM t WHERE a = ?", Int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Int != 7 || row[1].Text != "x" || row[2].Blob[0] != 9 {
+		t.Fatalf("row = %+v", row)
+	}
+}
+
+func TestInsertMissingParam(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if _, err := db.Exec("INSERT INTO t VALUES (?)"); err == nil {
+		t.Fatal("missing parameter should fail")
+	}
+}
+
+func TestPrimaryKeyConstraints(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id TEXT PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES ('a', 1)")
+	if _, err := db.Exec("INSERT INTO t VALUES ('a', 2)"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("duplicate PK: err = %v", err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (NULL, 3)"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("NULL PK: err = %v", err)
+	}
+}
+
+func TestCompositePrimaryKey(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 1), (1, 2), (2, 1)")
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 2)"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("dup composite PK: err = %v", err)
+	}
+}
+
+func TestNotNullAndUnique(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER NOT NULL, b TEXT UNIQUE)")
+	if _, err := db.Exec("INSERT INTO t VALUES (NULL, 'x')"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("NOT NULL: err = %v", err)
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'x')")
+	if _, err := db.Exec("INSERT INTO t VALUES (2, 'x')"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("UNIQUE: err = %v", err)
+	}
+	// NULLs don't collide under UNIQUE.
+	mustExec(t, db, "INSERT INTO t VALUES (3, NULL)")
+	mustExec(t, db, "INSERT INTO t VALUES (4, NULL)")
+}
+
+func TestForeignKeyInsertEnforcement(t *testing.T) {
+	db := newGOOFISchema(t)
+	if _, err := db.Exec("INSERT INTO CampaignData VALUES ('c1', 'missing-card', 10)"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("orphan insert: err = %v", err)
+	}
+	mustExec(t, db, "INSERT INTO TargetSystemData VALUES ('thor-rd', 'Thor RD test card')")
+	mustExec(t, db, "INSERT INTO CampaignData VALUES ('c1', 'thor-rd', 10)")
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e1', NULL, 'c1', 'data', x'00')")
+	// parentExperiment self-FK.
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e2', 'e1', 'c1', 'rerun', x'01')")
+	if _, err := db.Exec("INSERT INTO LoggedSystemState VALUES ('e3', 'nope', 'c1', '', x'00')"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("bad parent: err = %v", err)
+	}
+}
+
+func TestForeignKeyDeleteRestrict(t *testing.T) {
+	db := newGOOFISchema(t)
+	mustExec(t, db, "INSERT INTO TargetSystemData VALUES ('thor-rd', '')")
+	mustExec(t, db, "INSERT INTO CampaignData VALUES ('c1', 'thor-rd', 1)")
+	if _, err := db.Exec("DELETE FROM TargetSystemData WHERE testCardName = 'thor-rd'"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("restrict delete: err = %v", err)
+	}
+	mustExec(t, db, "DELETE FROM CampaignData WHERE campaignName = 'c1'")
+	mustExec(t, db, "DELETE FROM TargetSystemData WHERE testCardName = 'thor-rd'")
+}
+
+func TestForeignKeySelfReferenceDeleteTogether(t *testing.T) {
+	db := newGOOFISchema(t)
+	mustExec(t, db, "INSERT INTO TargetSystemData VALUES ('tc', '')")
+	mustExec(t, db, "INSERT INTO CampaignData VALUES ('c1', 'tc', 1)")
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e1', NULL, 'c1', '', x'00')")
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e2', 'e1', 'c1', '', x'00')")
+	// Deleting parent e1 alone must fail...
+	if _, err := db.Exec("DELETE FROM LoggedSystemState WHERE experimentName = 'e1'"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("err = %v", err)
+	}
+	// ...but deleting both rows in one statement succeeds.
+	mustExec(t, db, "DELETE FROM LoggedSystemState WHERE campaignName = 'c1'")
+	if n, _ := db.RowCount("LoggedSystemState"); n != 0 {
+		t.Fatalf("rows left: %d", n)
+	}
+}
+
+func TestUpdateBasics(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+	res := mustExec(t, db, "UPDATE t SET v = v + 1 WHERE v >= 20")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT v FROM t ORDER BY id")
+	got := []int64{rows.Data[0][0].Int, rows.Data[1][0].Int, rows.Data[2][0].Int}
+	if got[0] != 10 || got[1] != 21 || got[2] != 31 {
+		t.Fatalf("values = %v", got)
+	}
+}
+
+func TestUpdatePKChange(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20)")
+	if _, err := db.Exec("UPDATE t SET id = 2 WHERE id = 1"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("dup PK via update: err = %v", err)
+	}
+	mustExec(t, db, "UPDATE t SET id = 3 WHERE id = 1")
+	// Old key must be free again, new key occupied.
+	mustExec(t, db, "INSERT INTO t VALUES (1, 99)")
+	if _, err := db.Exec("INSERT INTO t VALUES (3, 99)"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateForeignKeyCheck(t *testing.T) {
+	db := newGOOFISchema(t)
+	mustExec(t, db, "INSERT INTO TargetSystemData VALUES ('tc', '')")
+	mustExec(t, db, "INSERT INTO CampaignData VALUES ('c1', 'tc', 1)")
+	if _, err := db.Exec("UPDATE CampaignData SET testCardName = 'nope'"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("err = %v", err)
+	}
+	// Changing a referenced parent key is rejected while children exist.
+	if _, err := db.Exec("UPDATE TargetSystemData SET testCardName = 'tc2'"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateAtomicOnFailure(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER NOT NULL)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 10), (2, 20)")
+	// Second row would violate NOT NULL; nothing must change.
+	if _, err := db.Exec("UPDATE t SET v = NULL WHERE id >= 1"); err == nil {
+		t.Fatal("want constraint error")
+	}
+	rows := mustQuery(t, db, "SELECT v FROM t ORDER BY id")
+	if rows.Data[0][0].Int != 10 || rows.Data[1][0].Int != 20 {
+		t.Fatalf("table mutated on failed update: %+v", rows.Data)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2), (3), (4)")
+	res := mustExec(t, db, "DELETE FROM t WHERE a % 2 = 0")
+	if res.RowsAffected != 2 {
+		t.Fatalf("RowsAffected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT a FROM t ORDER BY a")
+	if rows.Len() != 2 || rows.Data[0][0].Int != 1 || rows.Data[1][0].Int != 3 {
+		t.Fatalf("rows = %+v", rows.Data)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newGOOFISchema(t)
+	if _, err := db.Exec("DROP TABLE TargetSystemData"); !errors.Is(err, ErrForeignKey) {
+		t.Fatalf("drop referenced table: err = %v", err)
+	}
+	mustExec(t, db, "DROP TABLE LoggedSystemState")
+	mustExec(t, db, "DROP TABLE CampaignData")
+	mustExec(t, db, "DROP TABLE TargetSystemData")
+	if _, err := db.Exec("DROP TABLE TargetSystemData"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS TargetSystemData")
+}
+
+func TestCaseInsensitiveNames(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE MyTable (MyCol INTEGER)")
+	mustExec(t, db, "INSERT INTO mytable (mycol) VALUES (5)")
+	row, err := db.QueryRow("SELECT MYCOL FROM MYTABLE")
+	if err != nil || row[0].Int != 5 {
+		t.Fatalf("row=%v err=%v", row, err)
+	}
+}
+
+func TestSchemaIntrospection(t *testing.T) {
+	db := newGOOFISchema(t)
+	ts, err := db.Schema("LoggedSystemState")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Name != "LoggedSystemState" || len(ts.Columns) != 5 {
+		t.Fatalf("schema = %+v", ts)
+	}
+	if len(ts.ForeignKeys) != 2 {
+		t.Fatalf("fks = %+v", ts.ForeignKeys)
+	}
+	names := db.Tables()
+	if len(names) != 3 || names[0] != "TargetSystemData" {
+		t.Fatalf("tables = %v", names)
+	}
+	if _, err := db.Schema("nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExecRejectsSelect(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("SELECT 1"); err == nil {
+		t.Fatal("Exec(SELECT) should fail")
+	}
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if _, err := db.Query("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("Query(INSERT) should fail")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+	var wg sync.WaitGroup
+	const n = 20
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", Int64(int64(i)), Int64(int64(i*10))); err != nil {
+				errs <- err
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n2, _ := db.RowCount("t"); n2 != n {
+		t.Fatalf("rows = %d, want %d", n2, n)
+	}
+}
+
+func TestQueryRowErrors(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	if _, err := db.QueryRow("SELECT a FROM t"); err == nil {
+		t.Fatal("0 rows should fail")
+	}
+	mustExec(t, db, "INSERT INTO t VALUES (1), (2)")
+	if _, err := db.QueryRow("SELECT a FROM t"); err == nil {
+		t.Fatal("2 rows should fail")
+	}
+}
+
+func TestManyRowsPKIndexConsistency(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, 'v%d')", i, i))
+	}
+	mustExec(t, db, "DELETE FROM t WHERE id % 3 = 0")
+	// After the delete the PK index must still locate every survivor.
+	for i := 0; i < 500; i++ {
+		rows := mustQuery(t, db, "SELECT v FROM t WHERE id = ?", Int64(int64(i)))
+		wantLen := 1
+		if i%3 == 0 {
+			wantLen = 0
+		}
+		if rows.Len() != wantLen {
+			t.Fatalf("id %d: got %d rows, want %d", i, rows.Len(), wantLen)
+		}
+	}
+	// Reinserting deleted keys must succeed; reinserting survivors must not.
+	mustExec(t, db, "INSERT INTO t VALUES (0, 'new')")
+	if _, err := db.Exec("INSERT INTO t VALUES (1, 'dup')"); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("err = %v", err)
+	}
+}

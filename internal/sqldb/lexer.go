@@ -1,0 +1,205 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokBlobLit
+	tokSymbol
+	tokParam // the ? placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercased for keywords, raw for everything else
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords recognised by the lexer. Identifiers matching these (case
+// insensitively) are classified as keywords.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "IF": true, "EXISTS": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "FOREIGN": true,
+	"REFERENCES": true, "UNIQUE": true, "DEFAULT": true,
+	"INTEGER": true, "INT": true, "REAL": true, "FLOAT": true, "TEXT": true,
+	"VARCHAR": true, "BLOB": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "DISTINCT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"AND": true, "OR": true, "IN": true, "IS": true, "LIKE": true, "BETWEEN": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if upper == "X" && i < n && input[i] == '\'' {
+				// Blob literal x'DEADBEEF'.
+				lit, next, err := lexBlob(input, i, start)
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, token{kind: tokBlobLit, text: lit, pos: start})
+				i = next
+				continue
+			}
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			start := i
+			isFloat := false
+			for i < n {
+				d := input[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !isFloat {
+					isFloat = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && i+1 < n &&
+					(input[i+1] == '+' || input[i+1] == '-' || unicode.IsDigit(rune(input[i+1]))) {
+					isFloat = true
+					i += 2
+					continue
+				}
+				break
+			}
+			kind := tokInt
+			if isFloat {
+				kind = tokFloat
+			}
+			toks = append(toks, token{kind: kind, text: input[start:i], pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '"': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(input[i:], '"')
+			if j < 0 {
+				return nil, &SyntaxError{Pos: start, Msg: "unterminated quoted identifier"}
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i : i+j], pos: start})
+			i += j + 1
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=", "||":
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", pos: n})
+	return toks, nil
+}
+
+func lexBlob(input string, quotePos, start int) (lit string, next int, err error) {
+	i := quotePos + 1
+	j := strings.IndexByte(input[i:], '\'')
+	if j < 0 {
+		return "", 0, &SyntaxError{Pos: start, Msg: "unterminated blob literal"}
+	}
+	hex := input[i : i+j]
+	if len(hex)%2 != 0 {
+		return "", 0, &SyntaxError{Pos: start, Msg: "blob literal must have even number of hex digits"}
+	}
+	for k := 0; k < len(hex); k++ {
+		if _, err := strconv.ParseUint(string(hex[k]), 16, 8); err != nil {
+			return "", 0, &SyntaxError{Pos: start, Msg: fmt.Sprintf("invalid hex digit %q in blob literal", hex[k])}
+		}
+	}
+	return hex, i + j + 1, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,330 @@
+package sqldb
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a, b FROM t WHERE x >= 10.5 AND name LIKE 'a%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokKeyword, tokIdent, tokSymbol, tokIdent, tokKeyword, tokIdent,
+		tokKeyword, tokIdent, tokSymbol, tokFloat, tokKeyword, tokIdent,
+		tokKeyword, tokString, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d (%v)", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d kind = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "it's" {
+		t.Fatalf("string literal = %q, want %q", toks[0].text, "it's")
+	}
+}
+
+func TestLexBlobLiteral(t *testing.T) {
+	toks, err := lex("x'DEADbeef'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokBlobLit || toks[0].text != "DEADbeef" {
+		t.Fatalf("blob literal = %+v", toks[0])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "x'abc'", "x'zz'", "\"open", "@"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("lex(%q) error is not *SyntaxError: %v", bad, err)
+			}
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("SELECT 1 -- trailing comment\n+ 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SELECT, 1, +, 2, EOF
+	if len(toks) != 5 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := parse(`CREATE TABLE IF NOT EXISTS CampaignData (
+		campaignName TEXT PRIMARY KEY,
+		testCardName TEXT NOT NULL,
+		nExperiments INTEGER DEFAULT 0,
+		FOREIGN KEY (testCardName) REFERENCES TargetSystemData (testCardName)
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := st.(*createTableStmt)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if !ct.IfNotExists || ct.Name != "CampaignData" || len(ct.Columns) != 3 {
+		t.Fatalf("bad parse: %+v", ct)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "campaignName" {
+		t.Fatalf("pk = %v", ct.PrimaryKey)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].RefTable != "TargetSystemData" {
+		t.Fatalf("fks = %+v", ct.ForeignKeys)
+	}
+	if ct.Columns[2].Default == nil || ct.Columns[2].Default.Int != 0 {
+		t.Fatalf("default = %+v", ct.Columns[2].Default)
+	}
+}
+
+func TestParseCreateTableCompositePK(t *testing.T) {
+	st, err := parse("CREATE TABLE t (a INTEGER, b INTEGER, c TEXT, PRIMARY KEY (a, b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*createTableStmt)
+	if len(ct.PrimaryKey) != 2 {
+		t.Fatalf("pk = %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st, err := parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*insertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("bad insert: %+v", ins)
+	}
+	if _, ok := ins.Rows[1][0].(*paramExpr); !ok {
+		t.Fatalf("expected param, got %T", ins.Rows[1][0])
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st, err := parse(`SELECT c.name AS n, COUNT(*) FROM exps e
+		JOIN campaigns c ON e.camp = c.id
+		WHERE e.outcome <> 'x' AND e.t >= 5
+		GROUP BY c.name HAVING COUNT(*) > 1
+		ORDER BY 2 DESC, n LIMIT 10 OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*selectStmt)
+	if len(sel.Items) != 2 || sel.Items[0].Alias != "n" {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	if sel.From.Table != "exps" || sel.From.Alias != "e" || len(sel.From.Joins) != 1 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("missing clauses")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Fatal("missing limit/offset")
+	}
+}
+
+func TestParseSelectStarVariants(t *testing.T) {
+	st, err := parse("SELECT *, t.*, a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*selectStmt)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "" {
+		t.Fatalf("item0 = %+v", sel.Items[0])
+	}
+	if !sel.Items[1].Star || sel.Items[1].StarTable != "t" {
+		t.Fatalf("item1 = %+v", sel.Items[1])
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	st, err := parse("UPDATE t SET a = a + 1, b = 'y' WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*updateStmt)
+	if len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	st, err = parse("DELETE FROM t WHERE a IN (1, 2, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st.(*deleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := parse("SELECT 1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*selectStmt)
+	be := sel.Items[0].Expr.(*binaryExpr)
+	if be.Op != "+" {
+		t.Fatalf("top op = %q, want +", be.Op)
+	}
+	if inner, ok := be.R.(*binaryExpr); !ok || inner.Op != "*" {
+		t.Fatalf("rhs = %+v", be.R)
+	}
+}
+
+func TestParseNotInAndIsNull(t *testing.T) {
+	st, err := parse("SELECT * FROM t WHERE a NOT IN (1,2) AND b IS NOT NULL AND c IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*selectStmt).Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CREATE TABLE",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a BOGUS)",
+		"CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER PRIMARY KEY)",
+		"CREATE TABLE t (a INTEGER, FOREIGN KEY (a, b) REFERENCES p (x))",
+		"INSERT t VALUES (1)",
+		"SELECT FROM t",
+		"SELECT a FROM t WHERE",
+		"UPDATE t",
+		"DELETE t",
+		"SELECT a FROM t GROUP",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t extra garbage here",
+		"EXPLAIN SELECT 1",
+	}
+	for _, q := range bad {
+		if _, err := parse(q); err == nil {
+			t.Errorf("parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParamIndexing(t *testing.T) {
+	st, err := parse("SELECT ? + ?, ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*selectStmt)
+	sum := sel.Items[0].Expr.(*binaryExpr)
+	if sum.L.(*paramExpr).Index != 0 || sum.R.(*paramExpr).Index != 1 {
+		t.Fatal("first two params misnumbered")
+	}
+	if sel.Items[1].Expr.(*paramExpr).Index != 2 {
+		t.Fatal("third param misnumbered")
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// exprString output must re-parse to an equivalent expression.
+	exprs := []string{
+		"(a + 1)", "(x AND (y OR z))", "name LIKE 'a%'",
+		"a IN (1, 2)", "b IS NOT NULL", "COUNT(*)", "SUM((v * 2))",
+	}
+	for _, src := range exprs {
+		st, err := parse("SELECT " + src + " FROM t")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := exprString(st.(*selectStmt).Items[0].Expr)
+		if _, err := parse("SELECT " + rendered + " FROM t"); err != nil {
+			t.Errorf("re-parse of %q (from %q) failed: %v", rendered, src, err)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := parse("SELECT $ FROM t")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestParserNeverPanicsOnRandomInput feeds random byte soup and random
+// token recombinations to the parser; it must return errors, never panic.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	words := []string{
+		"SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "CREATE",
+		"TABLE", "PRIMARY", "KEY", "FOREIGN", "REFERENCES", "GROUP", "BY",
+		"ORDER", "LIMIT", "t", "a", "b", "(", ")", ",", "*", "=", "?", "'x'",
+		"1", "2.5", "x'ab'", "NULL", "AND", "OR", "NOT", "IN", "IS", "--c",
+		";", "+", "-", "/", "%", "||", "<=", ">=", "<>",
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(15)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		// Must not panic; errors are fine.
+		_, _ = parse(sb.String())
+	}
+	// Random raw bytes through the lexer.
+	for trial := 0; trial < 200; trial++ {
+		b := make([]byte, rng.Intn(40))
+		for i := range b {
+			b[i] = byte(rng.Intn(128))
+		}
+		_, _ = parse(string(b))
+	}
+}
+
+// TestExecutorNeverPanicsOnRandomQueries runs random statements against a
+// live database: every outcome must be a value or an error, never a panic.
+func TestExecutorNeverPanicsOnRandomQueries(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT, c REAL)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', -2.5)")
+	rng := rand.New(rand.NewSource(17))
+	cols := []string{"a", "b", "c", "t.a", "zz", "*"}
+	ops := []string{"=", "<>", "<", ">", "LIKE", "IS NULL", "IN (1, 'x')"}
+	for trial := 0; trial < 300; trial++ {
+		col := cols[rng.Intn(len(cols))]
+		op := ops[rng.Intn(len(ops))]
+		q := "SELECT " + col + " FROM t WHERE " + cols[rng.Intn(len(cols)-1)] + " " + op
+		if op == "=" || op == "<>" || op == "<" || op == ">" || op == "LIKE" {
+			q += " 'v'"
+		}
+		_, _ = db.Query(q) // errors fine, panics not
+	}
+}

@@ -1,0 +1,211 @@
+package sqldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Dump serialises the whole database as a SQL script that, replayed against
+// an empty database, reproduces it. Tables are emitted in creation order so
+// foreign-key parents always precede children (FKs can only reference tables
+// that already existed at CREATE time).
+func (db *DB) Dump() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var sb strings.Builder
+	for _, key := range db.order {
+		t := db.tables[key]
+		sb.WriteString(createTableSQL(&t.def))
+		sb.WriteString(";\n")
+		for _, row := range t.rows {
+			sb.WriteString("INSERT INTO ")
+			sb.WriteString(t.def.Name)
+			sb.WriteString(" VALUES (")
+			for i, v := range row {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(valueSQL(v))
+			}
+			sb.WriteString(");\n")
+		}
+	}
+	return sb.String()
+}
+
+func createTableSQL(def *createTableStmt) string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(def.Name)
+	sb.WriteString(" (")
+	for i, c := range def.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+		if c.Unique {
+			sb.WriteString(" UNIQUE")
+		}
+		if c.Default != nil {
+			sb.WriteString(" DEFAULT ")
+			sb.WriteString(valueSQL(*c.Default))
+		}
+	}
+	if len(def.PrimaryKey) > 0 {
+		sb.WriteString(", PRIMARY KEY (")
+		sb.WriteString(strings.Join(def.PrimaryKey, ", "))
+		sb.WriteString(")")
+	}
+	for _, fk := range def.ForeignKeys {
+		sb.WriteString(", FOREIGN KEY (")
+		sb.WriteString(strings.Join(fk.Columns, ", "))
+		sb.WriteString(") REFERENCES ")
+		sb.WriteString(fk.RefTable)
+		sb.WriteString(" (")
+		sb.WriteString(strings.Join(fk.RefColumns, ", "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func valueSQL(v Value) string {
+	switch v.Kind {
+	case KindText:
+		return "'" + strings.ReplaceAll(v.Text, "'", "''") + "'"
+	default:
+		return v.String() // NULL, numbers, x'..' blobs are already SQL
+	}
+}
+
+// ExecScript executes a multi-statement SQL script. Statements are separated
+// by semicolons; semicolons inside string literals are handled. Errors abort
+// the script and report the failing statement index.
+func (db *DB) ExecScript(script string) error {
+	stmts, err := SplitStatements(script)
+	if err != nil {
+		return err
+	}
+	for i, s := range stmts {
+		if isSelect(s) {
+			if _, err := db.Query(s); err != nil {
+				return fmt.Errorf("script statement %d: %w", i+1, err)
+			}
+			continue
+		}
+		if _, err := db.Exec(s); err != nil {
+			return fmt.Errorf("script statement %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+func isSelect(s string) bool {
+	// Skip leading whitespace and line comments.
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, "--") {
+			break
+		}
+		nl := strings.IndexByte(s, '\n')
+		if nl < 0 {
+			return false
+		}
+		s = s[nl+1:]
+	}
+	return strings.HasPrefix(strings.ToUpper(s), "SELECT")
+}
+
+// SplitStatements splits a SQL script on top-level semicolons, respecting
+// string literals and line comments. Empty statements are dropped.
+func SplitStatements(script string) ([]string, error) {
+	var (
+		stmts []string
+		start int
+	)
+	inString := false
+	i := 0
+	for i < len(script) {
+		c := script[i]
+		switch {
+		case inString:
+			if c == '\'' {
+				if i+1 < len(script) && script[i+1] == '\'' {
+					i++ // escaped quote
+				} else {
+					inString = false
+				}
+			}
+		case c == '\'':
+			inString = true
+		case c == '-' && i+1 < len(script) && script[i+1] == '-':
+			for i < len(script) && script[i] != '\n' {
+				i++
+			}
+			continue
+		case c == ';':
+			s := strings.TrimSpace(script[start:i])
+			if s != "" {
+				stmts = append(stmts, s)
+			}
+			start = i + 1
+		}
+		i++
+	}
+	if inString {
+		return nil, &SyntaxError{Pos: len(script), Msg: "unterminated string literal in script"}
+	}
+	if s := strings.TrimSpace(script[start:]); s != "" {
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// Save writes the database dump atomically to path.
+func (db *DB) Save(path string) error {
+	dump := db.Dump()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".goofidb-*")
+	if err != nil {
+		return fmt.Errorf("save database: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.WriteString(dump); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("save database: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("save database: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("save database: %w", err)
+	}
+	return nil
+}
+
+// Open loads a database previously written with Save. A missing file yields
+// an empty database, so first runs need no special casing.
+func Open(path string) (*DB, error) {
+	db := New()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return db, nil
+		}
+		return nil, fmt.Errorf("open database: %w", err)
+	}
+	if err := db.ExecScript(string(data)); err != nil {
+		return nil, fmt.Errorf("open database %s: %w", path, err)
+	}
+	return db, nil
+}

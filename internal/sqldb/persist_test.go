@@ -1,0 +1,171 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	db := newGOOFISchema(t)
+	mustExec(t, db, "INSERT INTO TargetSystemData VALUES ('thor-rd', 'it''s a card')")
+	mustExec(t, db, "INSERT INTO CampaignData VALUES ('c1', 'thor-rd', 100)")
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e1', NULL, 'c1', 'loc=R1;bit=3', x'deadbeef')")
+	mustExec(t, db, "INSERT INTO LoggedSystemState VALUES ('e2', 'e1', 'c1', 'detail rerun', x'00ff')")
+
+	dump := db.Dump()
+	db2 := New()
+	if err := db2.ExecScript(dump); err != nil {
+		t.Fatalf("replay dump: %v\n%s", err, dump)
+	}
+	if db2.Dump() != dump {
+		t.Fatalf("second dump differs:\n%s\nvs\n%s", db2.Dump(), dump)
+	}
+	row, err := db2.QueryRow("SELECT stateVector FROM LoggedSystemState WHERE experimentName = 'e1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row[0].Blob, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("blob = %x", row[0].Blob)
+	}
+	row, err = db2.QueryRow("SELECT description FROM TargetSystemData")
+	if err != nil || row[0].Text != "it's a card" {
+		t.Fatalf("quote escape broken: %v %v", row, err)
+	}
+}
+
+func TestSaveAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.goofidb")
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INTEGER PRIMARY KEY, b REAL, c TEXT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2.5, 'x'), (2, -0.125, NULL)")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := mustQuery(t, db2, "SELECT a, b, c FROM t ORDER BY a")
+	if rows.Len() != 2 || rows.Data[0][1].Real != 2.5 || !rows.Data[1][2].IsNull() {
+		t.Fatalf("rows = %+v", rows.Data)
+	}
+}
+
+func TestOpenMissingFileGivesEmptyDB(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "nope.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables()) != 0 {
+		t.Fatalf("tables = %v", db.Tables())
+	}
+}
+
+func TestOpenCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.db")
+	if err := os.WriteFile(path, []byte("CREATE GARBAGE;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt file should fail to open")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	stmts, err := SplitStatements(`
+		CREATE TABLE t (a TEXT); -- comment with ; inside
+		INSERT INTO t VALUES ('semi;colon');
+		SELECT * FROM t
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %q", stmts)
+	}
+	if !strings.Contains(stmts[1], "semi;colon") {
+		t.Fatalf("string literal split: %q", stmts[1])
+	}
+}
+
+func TestSplitStatementsUnterminated(t *testing.T) {
+	if _, err := SplitStatements("INSERT INTO t VALUES ('oops"); err == nil {
+		t.Fatal("should fail")
+	}
+}
+
+func TestExecScriptReportsStatementIndex(t *testing.T) {
+	db := New()
+	err := db.ExecScript("CREATE TABLE t (a INTEGER); INSERT INTO missing VALUES (1);")
+	if err == nil || !strings.Contains(err.Error(), "statement 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property-style test: random tables with random contents survive a
+// dump/replay round trip byte-identically.
+func TestDumpRoundTripRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		db := New()
+		nCols := 1 + rng.Intn(4)
+		cols := make([]string, nCols)
+		types := make([]ColType, nCols)
+		for c := 0; c < nCols; c++ {
+			types[c] = ColType(1 + rng.Intn(4))
+			cols[c] = fmt.Sprintf("c%d %s", c, types[c])
+		}
+		mustExec(t, db, "CREATE TABLE rt ("+strings.Join(cols, ", ")+")")
+		nRows := rng.Intn(30)
+		for r := 0; r < nRows; r++ {
+			vals := make([]Value, nCols)
+			ph := make([]string, nCols)
+			for c := 0; c < nCols; c++ {
+				ph[c] = "?"
+				switch rng.Intn(5) {
+				case 0:
+					vals[c] = Null()
+				default:
+					switch types[c] {
+					case TypeInteger:
+						vals[c] = Int64(rng.Int63n(1e9) - 5e8)
+					case TypeReal:
+						vals[c] = Float64(float64(rng.Int63n(1e6)) / 64.0)
+					case TypeText:
+						vals[c] = Text(randText(rng))
+					case TypeBlob:
+						b := make([]byte, rng.Intn(8))
+						rng.Read(b)
+						vals[c] = Blob(b)
+					}
+				}
+			}
+			mustExec(t, db, "INSERT INTO rt VALUES ("+strings.Join(ph, ",")+")", vals...)
+		}
+		dump := db.Dump()
+		db2 := New()
+		if err := db2.ExecScript(dump); err != nil {
+			t.Fatalf("trial %d replay: %v\n%s", trial, err, dump)
+		}
+		if db2.Dump() != dump {
+			t.Fatalf("trial %d: dumps differ", trial)
+		}
+	}
+}
+
+func randText(rng *rand.Rand) string {
+	alphabet := "abcXYZ 0123'%;_-"
+	n := rng.Intn(12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package thor
+
+import "math/bits"
+
+// cacheLine is one direct-mapped cache line holding a single word. The
+// parity bit covers the valid bit, the tag and the data word, matching the
+// Thor RD's parity-protected instruction and data caches (paper §1).
+type cacheLine struct {
+	valid  bool
+	tag    uint32
+	data   uint32
+	parity uint8 // single even-parity bit
+}
+
+// Cache is a direct-mapped, write-through, write-allocate cache of one-word
+// lines. It is exported only through the CPU's scan-chain state map.
+type Cache struct {
+	lines []cacheLine
+	// hits and misses feed the benchmark harness.
+	hits, misses uint64
+}
+
+func newCache(nLines int) *Cache {
+	return &Cache{lines: make([]cacheLine, nLines)}
+}
+
+func (c *Cache) index(addr uint32) (idx int, tag uint32) {
+	wordAddr := addr >> 2
+	n := uint32(len(c.lines))
+	return int(wordAddr % n), wordAddr / n
+}
+
+func lineParity(valid bool, tag, data uint32) uint8 {
+	n := bits.OnesCount32(tag) + bits.OnesCount32(data)
+	if valid {
+		n++
+	}
+	return uint8(n & 1)
+}
+
+// lookup returns the cached word for addr. ok reports a hit; parityOK
+// reports whether the stored parity matched the recomputed one — a mismatch
+// means a bit-flip was injected into the line and must raise the cache's
+// parity EDM.
+func (c *Cache) lookup(addr uint32) (data uint32, ok, parityOK bool) {
+	idx, tag := c.index(addr)
+	ln := &c.lines[idx]
+	if !ln.valid || ln.tag != tag {
+		c.misses++
+		return 0, false, true
+	}
+	c.hits++
+	if lineParity(ln.valid, ln.tag, ln.data) != ln.parity {
+		return 0, true, false
+	}
+	return ln.data, true, true
+}
+
+// fill installs a word fetched from memory.
+func (c *Cache) fill(addr, data uint32) {
+	idx, tag := c.index(addr)
+	c.lines[idx] = cacheLine{valid: true, tag: tag, data: data,
+		parity: lineParity(true, tag, data)}
+}
+
+// invalidate clears every line; used at reset.
+func (c *Cache) invalidate() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// Stats returns the hit and miss counters.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Lines returns the number of cache lines.
+func (c *Cache) Lines() int { return len(c.lines) }

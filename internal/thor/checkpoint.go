@@ -1,0 +1,107 @@
+package thor
+
+import "fmt"
+
+// Checkpoint is a full snapshot of the processor's architectural state,
+// memory and caches. Campaigns whose injection window starts late in the
+// workload use checkpoints to amortise the common prefix of every experiment
+// (the optimisation GOOFI's successor introduced to cut campaign time).
+type Checkpoint struct {
+	regs      [NumRegs]uint32
+	pc        uint32
+	psw       uint8
+	ir        uint32
+	mar       uint32
+	mdr       uint32
+	addrBus   uint32
+	dataBus   uint32
+	ctrlBus   uint8
+	mem       []byte
+	icache    []cacheLine
+	dcache    []cacheLine
+	iHits     uint64
+	iMisses   uint64
+	dHits     uint64
+	dMisses   uint64
+	wdCounter uint64
+	cycles    uint64
+	iters     uint64
+	status    Status
+	detection *Detection
+	inPorts   [16]uint32
+	outPorts  [16]uint32
+}
+
+// Checkpoint captures the CPU's complete state.
+func (c *CPU) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		regs:      c.Regs,
+		pc:        c.PC,
+		psw:       c.PSW,
+		ir:        c.IR,
+		mar:       c.MAR,
+		mdr:       c.MDR,
+		addrBus:   c.AddrBus,
+		dataBus:   c.DataBus,
+		ctrlBus:   c.CtrlBus,
+		mem:       append([]byte(nil), c.mem...),
+		icache:    append([]cacheLine(nil), c.icache.lines...),
+		dcache:    append([]cacheLine(nil), c.dcache.lines...),
+		iHits:     c.icache.hits,
+		iMisses:   c.icache.misses,
+		dHits:     c.dcache.hits,
+		dMisses:   c.dcache.misses,
+		wdCounter: c.wdCounter,
+		cycles:    c.cycles,
+		iters:     c.iters,
+		status:    c.status,
+		inPorts:   c.inPorts,
+		outPorts:  c.outPorts,
+	}
+	if c.detection != nil {
+		d := *c.detection
+		cp.detection = &d
+	}
+	return cp
+}
+
+// Restore copies a checkpoint back into the CPU. It writes into the existing
+// memory and cache arrays, so scan chains built over this CPU stay valid.
+// The CPU configuration must match the one the checkpoint was taken from.
+func (c *CPU) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("thor: nil checkpoint")
+	}
+	if len(cp.mem) != len(c.mem) ||
+		len(cp.icache) != len(c.icache.lines) ||
+		len(cp.dcache) != len(c.dcache.lines) {
+		return fmt.Errorf("thor: checkpoint shape does not match this CPU")
+	}
+	c.Regs = cp.regs
+	c.PC = cp.pc
+	c.PSW = cp.psw
+	c.IR = cp.ir
+	c.MAR = cp.mar
+	c.MDR = cp.mdr
+	c.AddrBus = cp.addrBus
+	c.DataBus = cp.dataBus
+	c.CtrlBus = cp.ctrlBus
+	copy(c.mem, cp.mem)
+	copy(c.icache.lines, cp.icache)
+	copy(c.dcache.lines, cp.dcache)
+	c.icache.hits, c.icache.misses = cp.iHits, cp.iMisses
+	c.dcache.hits, c.dcache.misses = cp.dHits, cp.dMisses
+	c.wdCounter = cp.wdCounter
+	c.cycles = cp.cycles
+	c.iters = cp.iters
+	c.status = cp.status
+	c.detection = nil
+	if cp.detection != nil {
+		d := *cp.detection
+		c.detection = &d
+	}
+	c.inPorts = cp.inPorts
+	c.outPorts = cp.outPorts
+	c.last = Events{}
+	return nil
+}

@@ -1,0 +1,96 @@
+package thor
+
+import "fmt"
+
+// Debug is the on-chip debug logic the paper's SCIFI algorithm programs via
+// the scan chains (§3.3): breakpoint registers that halt the workload at the
+// injection point, and read-only observability cells for the campaign's
+// termination conditions (timeout, error detected, workload end).
+type Debug struct {
+	// BPAddr halts execution when the program counter reaches this address
+	// (before the instruction executes) while BPAddrEnable is set.
+	BPAddr       uint32
+	BPAddrEnable bool
+	// BPCycle halts execution once the executed-instruction count reaches
+	// this value while BPCycleEnable is set. This is how "points in time"
+	// from the campaign definition become breakpoints.
+	BPCycle       uint64
+	BPCycleEnable bool
+	// Hit latches when a breakpoint fires; the host clears it through the
+	// debug scan chain before resuming.
+	Hit bool
+}
+
+// BreakReason explains why RunUntilBreak returned.
+type BreakReason int
+
+// Break reasons.
+const (
+	// BreakNone: the CPU left the running state (halt or detection) or the
+	// step budget ran out.
+	BreakNone BreakReason = iota + 1
+	// BreakPC: the PC breakpoint matched.
+	BreakPC
+	// BreakCycle: the cycle-count breakpoint matched.
+	BreakCycle
+)
+
+// String names the break reason.
+func (r BreakReason) String() string {
+	switch r {
+	case BreakNone:
+		return "none"
+	case BreakPC:
+		return "pc-breakpoint"
+	case BreakCycle:
+		return "cycle-breakpoint"
+	default:
+		return fmt.Sprintf("BreakReason(%d)", int(r))
+	}
+}
+
+// check evaluates the breakpoint conditions against the CPU state.
+func (d *Debug) check(c *CPU) (BreakReason, bool) {
+	if d.BPCycleEnable && c.Cycles() >= d.BPCycle {
+		return BreakCycle, true
+	}
+	if d.BPAddrEnable && c.PC == d.BPAddr {
+		return BreakPC, true
+	}
+	return BreakNone, false
+}
+
+// System bundles the chip: CPU core, debug logic and (once attached) the
+// test access port. It is what a test card plugs into.
+type System struct {
+	CPU   *CPU
+	Debug *Debug
+}
+
+// NewSystem builds a CPU with attached debug logic.
+func NewSystem(cfg Config) (*System, error) {
+	cpu, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{CPU: cpu, Debug: &Debug{}}, nil
+}
+
+// RunUntilBreak executes instructions until a breakpoint fires, the CPU
+// stops running, or maxSteps instructions have executed. Breakpoints are
+// evaluated before each instruction, so a PC breakpoint halts with the
+// instruction at BPAddr not yet executed — faults injected at the break are
+// visible to it, matching the paper's injection semantics.
+func (s *System) RunUntilBreak(maxSteps uint64) (BreakReason, Status) {
+	for i := uint64(0); i < maxSteps; i++ {
+		if s.CPU.Status() != StatusRunning {
+			return BreakNone, s.CPU.Status()
+		}
+		if r, hit := s.Debug.check(s.CPU); hit {
+			s.Debug.Hit = true
+			return r, s.CPU.Status()
+		}
+		s.CPU.Step()
+	}
+	return BreakNone, s.CPU.Status()
+}

@@ -1,0 +1,218 @@
+package thor
+
+import (
+	"fmt"
+	"math/bits"
+
+	"goofi/internal/scan"
+)
+
+// IR codes under which the chip's scan chains register with the TAP.
+// These values appear in TargetSystemData when a Thor target is configured.
+const (
+	ChainCore     = "internal.core"
+	ChainICache   = "internal.icache"
+	ChainDCache   = "internal.dcache"
+	ChainDebug    = "internal.debug"
+	ChainBoundary = "boundary.pins"
+)
+
+// IRCodes maps chain names to their TAP instruction-register codes.
+func IRCodes() map[string]uint8 {
+	return map[string]uint8{
+		ChainCore:     0x01,
+		ChainICache:   0x02,
+		ChainDCache:   0x03,
+		ChainDebug:    0x04,
+		ChainBoundary: 0x05,
+	}
+}
+
+// BuildTAP assembles the chip's scan chains over the system's live state and
+// attaches them to a fresh TAP controller. This is the only access path the
+// SCIFI technique has to the processor internals.
+func BuildTAP(s *System) (*scan.TAP, error) {
+	chains := map[uint8]*scan.Chain{}
+	codes := IRCodes()
+
+	core, err := coreChain(s.CPU)
+	if err != nil {
+		return nil, err
+	}
+	chains[codes[ChainCore]] = core
+
+	ic, err := cacheChain(ChainICache, s.CPU, s.CPU.icache)
+	if err != nil {
+		return nil, err
+	}
+	chains[codes[ChainICache]] = ic
+
+	dc, err := cacheChain(ChainDCache, s.CPU, s.CPU.dcache)
+	if err != nil {
+		return nil, err
+	}
+	chains[codes[ChainDCache]] = dc
+
+	dbg, err := debugChain(s)
+	if err != nil {
+		return nil, err
+	}
+	chains[codes[ChainDebug]] = dbg
+
+	bp, err := boundaryChain(s.CPU)
+	if err != nil {
+		return nil, err
+	}
+	chains[codes[ChainBoundary]] = bp
+
+	return scan.NewTAP(chains)
+}
+
+// reg32 builds a writable 32-bit field over a word of state.
+func reg32(name string, p *uint32) scan.Field {
+	return scan.Field{
+		Name:  name,
+		Width: 32,
+		Get:   func() uint64 { return uint64(*p) },
+		Set:   func(v uint64) { *p = uint32(v) },
+	}
+}
+
+func ro64(name string, width int, get func() uint64) scan.Field {
+	return scan.Field{Name: name, Width: width, Get: get, ReadOnly: true}
+}
+
+// coreChain exposes the register file, PC, PSW and pipeline latches.
+func coreChain(c *CPU) (*scan.Chain, error) {
+	fields := make([]scan.Field, 0, NumRegs+5)
+	for i := 0; i < NumRegs; i++ {
+		fields = append(fields, reg32(fmt.Sprintf("R%d", i), &c.Regs[i]))
+	}
+	fields = append(fields,
+		reg32("PC", &c.PC),
+		scan.Field{
+			Name:  "PSW",
+			Width: 8,
+			Get:   func() uint64 { return uint64(c.PSW) },
+			Set:   func(v uint64) { c.PSW = uint8(v) },
+		},
+		reg32("IR", &c.IR),
+		reg32("MAR", &c.MAR),
+		reg32("MDR", &c.MDR),
+	)
+	return scan.NewChain(ChainCore, fields)
+}
+
+// tagWidth computes how many tag bits a cache line stores for the given
+// memory size and line count.
+func tagWidth(memSize uint32, lines int) int {
+	maxTag := (memSize/4 - 1) / uint32(lines)
+	w := bits.Len32(maxTag)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// cacheChain exposes every line of a cache: valid, tag, data and the parity
+// bit. Injecting into any of them is how SCIFI reaches state that SWIFI
+// cannot (paper §1; comparison experiment E4).
+func cacheChain(name string, c *CPU, ca *Cache) (*scan.Chain, error) {
+	tw := tagWidth(c.cfg.MemSize, len(ca.lines))
+	fields := make([]scan.Field, 0, 4*len(ca.lines))
+	for i := range ca.lines {
+		ln := &ca.lines[i]
+		fields = append(fields,
+			scan.Field{
+				Name:  fmt.Sprintf("line%d.valid", i),
+				Width: 1,
+				Get:   func() uint64 { return b2u(ln.valid) },
+				Set:   func(v uint64) { ln.valid = v&1 != 0 },
+			},
+			scan.Field{
+				Name:  fmt.Sprintf("line%d.tag", i),
+				Width: tw,
+				Get:   func() uint64 { return uint64(ln.tag) },
+				Set:   func(v uint64) { ln.tag = uint32(v) },
+			},
+			scan.Field{
+				Name:  fmt.Sprintf("line%d.data", i),
+				Width: 32,
+				Get:   func() uint64 { return uint64(ln.data) },
+				Set:   func(v uint64) { ln.data = uint32(v) },
+			},
+			scan.Field{
+				Name:  fmt.Sprintf("line%d.parity", i),
+				Width: 1,
+				Get:   func() uint64 { return uint64(ln.parity & 1) },
+				Set:   func(v uint64) { ln.parity = uint8(v & 1) },
+			},
+		)
+	}
+	return scan.NewChain(name, fields)
+}
+
+// debugChain exposes the breakpoint registers (writable) and the chip's
+// observability counters (read-only), including the detection latch the
+// campaign's termination conditions poll.
+func debugChain(s *System) (*scan.Chain, error) {
+	d := s.Debug
+	c := s.CPU
+	fields := []scan.Field{
+		reg32("bp_addr", &d.BPAddr),
+		{
+			Name:  "bp_addr_en",
+			Width: 1,
+			Get:   func() uint64 { return b2u(d.BPAddrEnable) },
+			Set:   func(v uint64) { d.BPAddrEnable = v&1 != 0 },
+		},
+		{
+			Name:  "bp_cycle",
+			Width: 64,
+			Get:   func() uint64 { return d.BPCycle },
+			Set:   func(v uint64) { d.BPCycle = v },
+		},
+		{
+			Name:  "bp_cycle_en",
+			Width: 1,
+			Get:   func() uint64 { return b2u(d.BPCycleEnable) },
+			Set:   func(v uint64) { d.BPCycleEnable = v&1 != 0 },
+		},
+		{
+			Name:  "bp_hit",
+			Width: 1,
+			Get:   func() uint64 { return b2u(d.Hit) },
+			Set:   func(v uint64) { d.Hit = v&1 != 0 },
+		},
+		ro64("cycles", 64, func() uint64 { return c.cycles }),
+		ro64("iterations", 64, func() uint64 { return c.iters }),
+		ro64("status", 2, func() uint64 { return uint64(c.status) }),
+		ro64("detected", 1, func() uint64 {
+			return b2u(c.detection != nil)
+		}),
+		ro64("wd_counter", 64, func() uint64 { return c.wdCounter }),
+	}
+	return scan.NewChain(ChainDebug, fields)
+}
+
+// boundaryChain exposes the boundary-scan pin latches.
+func boundaryChain(c *CPU) (*scan.Chain, error) {
+	fields := []scan.Field{
+		reg32("addr_bus", &c.AddrBus),
+		reg32("data_bus", &c.DataBus),
+		{
+			Name:  "ctrl_bus",
+			Width: 8,
+			Get:   func() uint64 { return uint64(c.CtrlBus) },
+			Set:   func(v uint64) { c.CtrlBus = uint8(v) },
+		},
+	}
+	return scan.NewChain(ChainBoundary, fields)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,346 @@
+package thor
+
+import (
+	"strings"
+	"testing"
+)
+
+func newSystemT(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildTAPChains(t *testing.T) {
+	s := newSystemT(t)
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{ChainCore, ChainICache, ChainDCache, ChainDebug, ChainBoundary}
+	got := tap.Chains()
+	if len(got) != len(want) {
+		t.Fatalf("chains = %d, want %d", len(got), len(want))
+	}
+	names := make(map[string]bool)
+	for _, c := range got {
+		names[c.Name()] = true
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("missing chain %s", n)
+		}
+	}
+}
+
+func TestCoreChainReadsAndWritesRegisters(t *testing.T) {
+	s := newSystemT(t)
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CPU.Regs[3] = 0xAABBCCDD
+	s.CPU.PC = 0x40
+	tap.Reset()
+	if err := tap.SelectChain(ChainCore); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := tap.ChainByName(ChainCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := tap.ReadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, width, err := ch.FieldOffset("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bits.Uint64(off, width); got != 0xAABBCCDD {
+		t.Fatalf("R3 via scan = %#x", got)
+	}
+	pcOff, pcWidth, _ := ch.FieldOffset("PC")
+	if got := bits.Uint64(pcOff, pcWidth); got != 0x40 {
+		t.Fatalf("PC via scan = %#x", got)
+	}
+	// Inject a bit flip into R3 through the chain (the SCIFI operation).
+	bits.Flip(off + 7)
+	if _, err := tap.WriteChain(bits); err != nil {
+		t.Fatal(err)
+	}
+	if s.CPU.Regs[3] != 0xAABBCCDD^(1<<7) {
+		t.Fatalf("R3 after injection = %#x", s.CPU.Regs[3])
+	}
+}
+
+func TestDebugChainProgramsBreakpoint(t *testing.T) {
+	s := newSystemT(t)
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.Reset()
+	if err := tap.SelectChain(ChainDebug); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := tap.ChainByName(ChainDebug)
+	bits, err := tap.ReadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrOff, _, _ := ch.FieldOffset("bp_addr")
+	enOff, _, _ := ch.FieldOffset("bp_addr_en")
+	bits.PutUint64(addrOff, 32, 0x8)
+	bits.Set(enOff, true)
+	if _, err := tap.WriteChain(bits); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Debug.BPAddrEnable || s.Debug.BPAddr != 0x8 {
+		t.Fatalf("debug = %+v", s.Debug)
+	}
+	// Read-only cells must reject writes: flip "cycles" and confirm no change.
+	cyclesOff, _, _ := ch.FieldOffset("cycles")
+	bits2, _ := tap.ReadChain()
+	bits2.PutUint64(cyclesOff, 64, 999)
+	if _, err := tap.WriteChain(bits2); err != nil {
+		t.Fatal(err)
+	}
+	if s.CPU.Cycles() != 0 {
+		t.Fatal("read-only cycle counter was driven")
+	}
+}
+
+func TestRunUntilBreakPC(t *testing.T) {
+	s := newSystemT(t)
+	prog := []Instr{
+		{Op: OpLDI, Rd: 1, Imm: 1},
+		{Op: OpLDI, Rd: 2, Imm: 2},
+		{Op: OpLDI, Rd: 3, Imm: 3},
+		{Op: OpHALT},
+	}
+	for i, in := range prog {
+		w, _ := Encode(in)
+		if err := s.CPU.WriteWordHost(uint32(4*i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Debug.BPAddr = 8
+	s.Debug.BPAddrEnable = true
+	reason, st := s.RunUntilBreak(100)
+	if reason != BreakPC || st != StatusRunning {
+		t.Fatalf("reason=%v status=%v", reason, st)
+	}
+	if s.CPU.PC != 8 || s.CPU.Regs[3] != 0 {
+		t.Fatal("breakpoint did not halt before the instruction")
+	}
+	if !s.Debug.Hit {
+		t.Fatal("Hit latch not set")
+	}
+	// Resume without the breakpoint: runs to completion.
+	s.Debug.BPAddrEnable = false
+	reason, st = s.RunUntilBreak(100)
+	if reason != BreakNone || st != StatusHalted || s.CPU.Regs[3] != 3 {
+		t.Fatalf("resume: reason=%v status=%v R3=%d", reason, st, s.CPU.Regs[3])
+	}
+}
+
+func TestRunUntilBreakCycle(t *testing.T) {
+	s := newSystemT(t)
+	w, _ := Encode(Instr{Op: OpBRA, Imm: -1})
+	if err := s.CPU.WriteWordHost(0, w); err != nil {
+		t.Fatal(err)
+	}
+	s.Debug.BPCycle = 10
+	s.Debug.BPCycleEnable = true
+	reason, _ := s.RunUntilBreak(1000)
+	if reason != BreakCycle || s.CPU.Cycles() != 10 {
+		t.Fatalf("reason=%v cycles=%d", reason, s.CPU.Cycles())
+	}
+}
+
+func TestRunUntilBreakMaxSteps(t *testing.T) {
+	s := newSystemT(t)
+	w, _ := Encode(Instr{Op: OpBRA, Imm: -1})
+	if err := s.CPU.WriteWordHost(0, w); err != nil {
+		t.Fatal(err)
+	}
+	reason, st := s.RunUntilBreak(25)
+	if reason != BreakNone || st != StatusRunning || s.CPU.Cycles() != 25 {
+		t.Fatalf("reason=%v status=%v cycles=%d", reason, st, s.CPU.Cycles())
+	}
+}
+
+func TestCacheChainInjectionDetectedByParity(t *testing.T) {
+	s := newSystemT(t)
+	prog := []Instr{
+		{Op: OpLDI, Rd: 1, Imm: 0x8000},
+		{Op: OpLD, Rd: 2, Rs: 1, Imm: 0},
+		{Op: OpLD, Rd: 3, Rs: 1, Imm: 0},
+		{Op: OpHALT},
+	}
+	for i, in := range prog {
+		w, _ := Encode(in)
+		if err := s.CPU.WriteWordHost(uint32(4*i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Run two instructions so the D-cache line for 0x8000 is filled.
+	s.CPU.Step()
+	s.CPU.Step()
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.Reset()
+	if err := tap.SelectChain(ChainDCache); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := tap.ChainByName(ChainDCache)
+	idx, _ := s.CPU.DCache().index(0x8000)
+	off, _, err := ch.FieldOffset(lineField(idx, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := tap.ReadChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits.Flip(off + 3)
+	if _, err := tap.WriteChain(bits); err != nil {
+		t.Fatal(err)
+	}
+	// The next load hits the corrupted line and the parity EDM fires.
+	st := s.CPU.Run(10)
+	if st != StatusDetected {
+		t.Fatalf("status = %v", st)
+	}
+	if d := s.CPU.Detection(); d.Mechanism != EDMDCacheParity {
+		t.Fatalf("detection = %v", d)
+	}
+}
+
+func lineField(idx int, part string) string {
+	return "line" + itoa(idx) + "." + part
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	var digits []byte
+	for n > 0 {
+		digits = append(digits, byte('0'+n%10))
+		n /= 10
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		sb.WriteByte(digits[i])
+	}
+	return sb.String()
+}
+
+func TestBoundaryChainWritable(t *testing.T) {
+	s := newSystemT(t)
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.Reset()
+	if err := tap.SelectChain(ChainBoundary); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := tap.ChainByName(ChainBoundary)
+	bits, _ := tap.ReadChain()
+	off, _, _ := ch.FieldOffset("addr_bus")
+	bits.PutUint64(off, 32, 0x12345678)
+	if _, err := tap.WriteChain(bits); err != nil {
+		t.Fatal(err)
+	}
+	if s.CPU.AddrBus != 0x12345678 {
+		t.Fatalf("AddrBus = %#x", s.CPU.AddrBus)
+	}
+}
+
+func TestTagWidth(t *testing.T) {
+	// 64 KiB memory, 64 lines: 16K words / 64 = 256 tags -> max 255 -> 8 bits.
+	if w := tagWidth(64*1024, 64); w != 8 {
+		t.Fatalf("tagWidth = %d", w)
+	}
+	if w := tagWidth(4, 1); w != 1 {
+		t.Fatalf("tagWidth minimum = %d", w)
+	}
+}
+
+// TestScanInjectionEqualsDirectWrite is a metamorphic check tying the whole
+// scan stack together: flipping any writable core-chain bit through the TAP
+// must change exactly the same architectural bit as a direct field write.
+func TestScanInjectionEqualsDirectWrite(t *testing.T) {
+	s := newSystemT(t)
+	// Give the registers distinctive values.
+	for i := range s.CPU.Regs {
+		s.CPU.Regs[i] = 0x01010101 * uint32(i+1)
+	}
+	s.CPU.PC = 0x1234
+	s.CPU.PSW = 0x0A
+	tap, err := BuildTAP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap.Reset()
+	if err := tap.SelectChain(ChainCore); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := tap.ChainByName(ChainCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() (regs [NumRegs]uint32, pc uint32, psw uint8) {
+		return s.CPU.Regs, s.CPU.PC, s.CPU.PSW
+	}
+	for bit := 0; bit < 16*32+32+8; bit += 37 { // stride across regs+PC+PSW
+		beforeRegs, beforePC, beforePSW := snapshot()
+		bits, err := tap.ReadChain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits.Flip(bit)
+		if _, err := tap.WriteChain(bits); err != nil {
+			t.Fatal(err)
+		}
+		afterRegs, afterPC, afterPSW := snapshot()
+		// Compute the expected single-bit difference.
+		name := ch.BitName(bit)
+		f, bitInField, err := ch.Locate(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffCount := 0
+		for r := 0; r < NumRegs; r++ {
+			if d := beforeRegs[r] ^ afterRegs[r]; d != 0 {
+				diffCount++
+				if d != 1<<uint(bitInField) {
+					t.Fatalf("%s: register delta %#x", name, d)
+				}
+			}
+		}
+		if d := beforePC ^ afterPC; d != 0 {
+			diffCount++
+			if d != 1<<uint(bitInField) {
+				t.Fatalf("%s: PC delta %#x", name, d)
+			}
+		}
+		if d := beforePSW ^ afterPSW; d != 0 {
+			diffCount++
+			if d != 1<<uint(bitInField) {
+				t.Fatalf("%s: PSW delta %#x", name, d)
+			}
+		}
+		if diffCount != 1 {
+			t.Fatalf("%s (field %s): %d state elements changed", name, f.Name, diffCount)
+		}
+	}
+}

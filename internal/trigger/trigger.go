@@ -1,0 +1,260 @@
+// Package trigger implements the fault triggers of the paper's §4 extension
+// list: beyond the baseline time/breakpoint trigger, faults can be injected
+// on "access of certain data values, execution of branch instructions or
+// subprogram calls, when task switches occur, or at specific times
+// determined by a real-time clock".
+//
+// A trigger observes the per-instruction event stream of the target
+// processor and reports when the injection condition is met. The campaign
+// engine steps the workload with the trigger attached and injects at the
+// first firing.
+package trigger
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"goofi/internal/thor"
+)
+
+// Trigger decides when to inject based on the executed instruction stream.
+// Implementations carry occurrence counters and must be Reset between
+// experiments.
+type Trigger interface {
+	// Name serialises the trigger for CampaignData; Parse inverts it.
+	Name() string
+	// Fired is called after every instruction with the instruction's event
+	// summary and the total executed-instruction count; it returns true at
+	// the injection point.
+	Fired(ev thor.Events, cycles uint64) bool
+	// Reset restores the trigger for a fresh experiment.
+	Reset()
+}
+
+// nthCounter fires on the nth occurrence (1-based) of a predicate.
+type nthCounter struct {
+	n     int
+	count int
+}
+
+func (c *nthCounter) hit() bool {
+	c.count++
+	return c.count == c.n
+}
+
+func (c *nthCounter) reset() { c.count = 0 }
+
+// --- Concrete triggers ---
+
+// OnCycle fires when the executed-instruction count reaches a value: the
+// baseline "point in time" trigger (§3.2).
+type OnCycle struct {
+	Cycle uint64
+}
+
+// Name implements Trigger.
+func (t *OnCycle) Name() string { return fmt.Sprintf("cycle:%d", t.Cycle) }
+
+// Fired implements Trigger.
+func (t *OnCycle) Fired(_ thor.Events, cycles uint64) bool { return cycles >= t.Cycle }
+
+// Reset implements Trigger.
+func (t *OnCycle) Reset() {}
+
+// OnBranch fires on the Nth taken branch.
+type OnBranch struct {
+	N int
+	c nthCounter
+}
+
+// Name implements Trigger.
+func (t *OnBranch) Name() string { return fmt.Sprintf("branch:%d", t.N) }
+
+// Fired implements Trigger.
+func (t *OnBranch) Fired(ev thor.Events, _ uint64) bool {
+	if !ev.BranchTaken {
+		return false
+	}
+	t.c.n = t.N
+	return t.c.hit()
+}
+
+// Reset implements Trigger.
+func (t *OnBranch) Reset() { t.c.reset() }
+
+// OnCall fires on the Nth subprogram call (JAL).
+type OnCall struct {
+	N int
+	c nthCounter
+}
+
+// Name implements Trigger.
+func (t *OnCall) Name() string { return fmt.Sprintf("call:%d", t.N) }
+
+// Fired implements Trigger.
+func (t *OnCall) Fired(ev thor.Events, _ uint64) bool {
+	if !ev.Call {
+		return false
+	}
+	t.c.n = t.N
+	return t.c.hit()
+}
+
+// Reset implements Trigger.
+func (t *OnCall) Reset() { t.c.reset() }
+
+// OnTaskSwitch fires on the Nth task switch (YIELD).
+type OnTaskSwitch struct {
+	N int
+	c nthCounter
+}
+
+// Name implements Trigger.
+func (t *OnTaskSwitch) Name() string { return fmt.Sprintf("taskswitch:%d", t.N) }
+
+// Fired implements Trigger.
+func (t *OnTaskSwitch) Fired(ev thor.Events, _ uint64) bool {
+	if !ev.TaskSwitch {
+		return false
+	}
+	t.c.n = t.N
+	return t.c.hit()
+}
+
+// Reset implements Trigger.
+func (t *OnTaskSwitch) Reset() { t.c.reset() }
+
+// OnMemAccess fires on the Nth access (read or write) to an address.
+type OnMemAccess struct {
+	Addr uint32
+	N    int
+	c    nthCounter
+}
+
+// Name implements Trigger.
+func (t *OnMemAccess) Name() string { return fmt.Sprintf("memaccess:%#x:%d", t.Addr, t.N) }
+
+// Fired implements Trigger.
+func (t *OnMemAccess) Fired(ev thor.Events, _ uint64) bool {
+	if !(ev.MemRead || ev.MemWrite) || ev.MemAddr != t.Addr {
+		return false
+	}
+	t.c.n = t.N
+	return t.c.hit()
+}
+
+// Reset implements Trigger.
+func (t *OnMemAccess) Reset() { t.c.reset() }
+
+// OnDataValue fires on the Nth memory access transferring a given value —
+// the "access of certain data values" trigger.
+type OnDataValue struct {
+	Value uint32
+	N     int
+	c     nthCounter
+}
+
+// Name implements Trigger.
+func (t *OnDataValue) Name() string { return fmt.Sprintf("datavalue:%#x:%d", t.Value, t.N) }
+
+// Fired implements Trigger.
+func (t *OnDataValue) Fired(ev thor.Events, _ uint64) bool {
+	if !(ev.MemRead || ev.MemWrite) || ev.MemValue != t.Value {
+		return false
+	}
+	t.c.n = t.N
+	return t.c.hit()
+}
+
+// Reset implements Trigger.
+func (t *OnDataValue) Reset() { t.c.reset() }
+
+// OnClock fires at the Nth tick of a simulated real-time clock with the
+// given period in instructions.
+type OnClock struct {
+	Period uint64
+	Tick   int
+}
+
+// Name implements Trigger.
+func (t *OnClock) Name() string { return fmt.Sprintf("clock:%d:%d", t.Period, t.Tick) }
+
+// Fired implements Trigger.
+func (t *OnClock) Fired(_ thor.Events, cycles uint64) bool {
+	return cycles >= t.Period*uint64(t.Tick)
+}
+
+// Reset implements Trigger.
+func (t *OnClock) Reset() {}
+
+// Parse builds a trigger from its Name encoding.
+func Parse(s string) (Trigger, error) {
+	parts := strings.Split(s, ":")
+	fail := func() (Trigger, error) {
+		return nil, fmt.Errorf("trigger: malformed trigger %q", s)
+	}
+	num := func(p string, bits int) (uint64, bool) {
+		v, err := strconv.ParseUint(p, 0, bits)
+		return v, err == nil
+	}
+	switch parts[0] {
+	case "cycle":
+		if len(parts) != 2 {
+			return fail()
+		}
+		v, ok := num(parts[1], 64)
+		if !ok {
+			return fail()
+		}
+		return &OnCycle{Cycle: v}, nil
+	case "branch", "call", "taskswitch":
+		if len(parts) != 2 {
+			return fail()
+		}
+		v, ok := num(parts[1], 31)
+		if !ok || v == 0 {
+			return fail()
+		}
+		switch parts[0] {
+		case "branch":
+			return &OnBranch{N: int(v)}, nil
+		case "call":
+			return &OnCall{N: int(v)}, nil
+		default:
+			return &OnTaskSwitch{N: int(v)}, nil
+		}
+	case "memaccess":
+		if len(parts) != 3 {
+			return fail()
+		}
+		addr, ok1 := num(parts[1], 32)
+		n, ok2 := num(parts[2], 31)
+		if !ok1 || !ok2 || n == 0 {
+			return fail()
+		}
+		return &OnMemAccess{Addr: uint32(addr), N: int(n)}, nil
+	case "datavalue":
+		if len(parts) != 3 {
+			return fail()
+		}
+		v, ok1 := num(parts[1], 32)
+		n, ok2 := num(parts[2], 31)
+		if !ok1 || !ok2 || n == 0 {
+			return fail()
+		}
+		return &OnDataValue{Value: uint32(v), N: int(n)}, nil
+	case "clock":
+		if len(parts) != 3 {
+			return fail()
+		}
+		period, ok1 := num(parts[1], 64)
+		tick, ok2 := num(parts[2], 31)
+		if !ok1 || !ok2 || period == 0 || tick == 0 {
+			return fail()
+		}
+		return &OnClock{Period: period, Tick: int(tick)}, nil
+	default:
+		return fail()
+	}
+}

@@ -1,0 +1,131 @@
+package trigger
+
+import (
+	"testing"
+
+	"goofi/internal/thor"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	triggers := []Trigger{
+		&OnCycle{Cycle: 1234},
+		&OnBranch{N: 3},
+		&OnCall{N: 1},
+		&OnTaskSwitch{N: 7},
+		&OnMemAccess{Addr: 0x7010, N: 2},
+		&OnDataValue{Value: 0xDEAD, N: 4},
+		&OnClock{Period: 500, Tick: 3},
+	}
+	for _, tr := range triggers {
+		got, err := Parse(tr.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if got.Name() != tr.Name() {
+			t.Fatalf("round trip %q -> %q", tr.Name(), got.Name())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "bogus:1", "cycle", "cycle:x", "branch:0", "branch:1:2",
+		"memaccess:0x10", "memaccess:zz:1", "memaccess:0x10:0",
+		"datavalue:1", "clock:0:1", "clock:5:0", "clock:5",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestOnCycle(t *testing.T) {
+	tr := &OnCycle{Cycle: 10}
+	if tr.Fired(thor.Events{}, 9) {
+		t.Fatal("fired early")
+	}
+	if !tr.Fired(thor.Events{}, 10) {
+		t.Fatal("did not fire")
+	}
+	tr.Reset() // no state; must not panic
+}
+
+func TestNthOccurrenceTriggers(t *testing.T) {
+	tests := []struct {
+		name string
+		tr   Trigger
+		ev   thor.Events
+	}{
+		{"branch", &OnBranch{N: 3}, thor.Events{BranchTaken: true}},
+		{"call", &OnCall{N: 3}, thor.Events{Call: true}},
+		{"taskswitch", &OnTaskSwitch{N: 3}, thor.Events{TaskSwitch: true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			// Non-matching events never fire.
+			if tt.tr.Fired(thor.Events{}, 1) {
+				t.Fatal("fired on empty event")
+			}
+			// Fires exactly on the 3rd matching event.
+			if tt.tr.Fired(tt.ev, 1) || tt.tr.Fired(tt.ev, 2) {
+				t.Fatal("fired before Nth occurrence")
+			}
+			if !tt.tr.Fired(tt.ev, 3) {
+				t.Fatal("did not fire on Nth occurrence")
+			}
+			if tt.tr.Fired(tt.ev, 4) {
+				t.Fatal("fired again after Nth occurrence")
+			}
+			tt.tr.Reset()
+			if tt.tr.Fired(tt.ev, 1) || tt.tr.Fired(tt.ev, 2) {
+				t.Fatal("reset did not clear the counter")
+			}
+			if !tt.tr.Fired(tt.ev, 3) {
+				t.Fatal("did not fire after reset")
+			}
+		})
+	}
+}
+
+func TestOnMemAccess(t *testing.T) {
+	tr := &OnMemAccess{Addr: 0x4000, N: 2}
+	hit := thor.Events{MemRead: true, MemAddr: 0x4000}
+	miss := thor.Events{MemRead: true, MemAddr: 0x4004}
+	if tr.Fired(miss, 1) {
+		t.Fatal("fired on wrong address")
+	}
+	if tr.Fired(hit, 1) {
+		t.Fatal("fired on first access")
+	}
+	if !tr.Fired(hit, 2) {
+		t.Fatal("did not fire on second access")
+	}
+	// Writes count too.
+	tr.Reset()
+	w := thor.Events{MemWrite: true, MemAddr: 0x4000}
+	tr.Fired(w, 1)
+	if !tr.Fired(w, 2) {
+		t.Fatal("write access not counted")
+	}
+}
+
+func TestOnDataValue(t *testing.T) {
+	tr := &OnDataValue{Value: 42, N: 1}
+	if tr.Fired(thor.Events{MemRead: true, MemValue: 41}, 1) {
+		t.Fatal("fired on wrong value")
+	}
+	if !tr.Fired(thor.Events{MemWrite: true, MemValue: 42}, 1) {
+		t.Fatal("did not fire on value")
+	}
+}
+
+func TestOnClock(t *testing.T) {
+	tr := &OnClock{Period: 100, Tick: 3}
+	if tr.Fired(thor.Events{}, 299) {
+		t.Fatal("fired early")
+	}
+	if !tr.Fired(thor.Events{}, 300) {
+		t.Fatal("did not fire at tick")
+	}
+}

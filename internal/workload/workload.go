@@ -1,0 +1,499 @@
+// Package workload ships the target-system workloads of the reproduction
+// (paper §3.2): programs in the thor assembly language together with the
+// metadata the campaign needs — environment exchange locations, result
+// locations, and termination style.
+//
+// The flagship workload is the jet-engine control application with
+// executable assertions and best-effort recovery, mirroring the companion
+// study the paper applied GOOFI to (ref. [12]). Three terminating batch
+// workloads (sort, matrix multiply, CRC) cover the "program that terminates
+// by itself" case.
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes one workload.
+type Spec struct {
+	// Name identifies the workload in CampaignData.
+	Name string
+	// Description is a one-line summary shown by the CLI.
+	Description string
+	// Source is the thor assembly text.
+	Source string
+	// TerminatesSelf is true for batch programs ending in HALT; false for
+	// infinite control loops, which the campaign stops after MaxIterations.
+	TerminatesSelf bool
+	// MaxIterations bounds non-terminating workloads (number of SYNCs).
+	MaxIterations uint64
+	// Env names the environment simulator to attach, or "" for none.
+	Env string
+	// OutputAddrs are the memory words read and passed to the environment
+	// simulator at each SYNC.
+	OutputAddrs []uint32
+	// InputAddrs are the memory words the simulator's reply is written to.
+	InputAddrs []uint32
+	// ResultAddrs are the memory words holding the workload's results,
+	// compared against the reference run to detect escaped errors.
+	ResultAddrs []uint32
+	// MaxCycles is the per-experiment timeout in instructions.
+	MaxCycles uint64
+}
+
+// Validate performs basic sanity checks on the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.Source == "":
+		return fmt.Errorf("workload %s: empty source", s.Name)
+	case !s.TerminatesSelf && s.MaxIterations == 0:
+		return fmt.Errorf("workload %s: non-terminating workload needs MaxIterations", s.Name)
+	case s.MaxCycles == 0:
+		return fmt.Errorf("workload %s: MaxCycles must be positive", s.Name)
+	}
+	return nil
+}
+
+// Get returns a built-in workload by name.
+func Get(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names lists the built-in workloads in sorted order.
+func Names() []string {
+	all := All()
+	names := make([]string, 0, len(all))
+	for _, s := range all {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every built-in workload.
+func All() []Spec {
+	return []Spec{
+		BubbleSort(),
+		MatMul(),
+		CRC16(),
+		Fibonacci(),
+		Control(),
+	}
+}
+
+// Memory-layout constants shared by the workloads. The default thor config
+// places ROM at [0, 0x4000); workload data lives above it.
+const (
+	fibResultAddr = 0x4400
+
+	sortArrayAddr = 0x4000
+	sortArrayLen  = 16
+
+	matAAddr = 0x4100
+	matBAddr = 0x4140
+	matCAddr = 0x4180
+
+	crcDataAddr   = 0x4200
+	crcDataBytes  = 32
+	crcResultAddr = 0x4300
+
+	ctlInSpeed = 0x7000
+	ctlInSetpt = 0x7004
+	ctlOutCmd  = 0x7010
+	ctlLastCmd = 0x7020
+	ctlLastSpd = 0x7024
+)
+
+// BubbleSort sorts a 16-word array in place and halts.
+func BubbleSort() Spec {
+	results := make([]uint32, sortArrayLen)
+	for i := range results {
+		results[i] = sortArrayAddr + uint32(4*i)
+	}
+	return Spec{
+		Name:           "bubblesort",
+		Description:    "sort a 16-word array in place (batch, self-terminating)",
+		TerminatesSelf: true,
+		MaxCycles:      50000,
+		ResultAddrs:    results,
+		Source: `
+; bubblesort: sort ARR[0..N) ascending.
+.equ ARR, 0x4000
+.equ N, 16
+start:
+    LDI  R7, ARR
+    LDI  R1, 0            ; i
+outer:
+    CMPI R1, N-1
+    BGE  sorted
+    LDI  R2, 0            ; j
+    LDI  R6, N-1
+    SUB  R6, R6, R1       ; limit = N-1-i
+inner:
+    CMP  R2, R6
+    BGE  endinner
+    LDI  R3, 4
+    MUL  R3, R2, R3
+    ADD  R3, R3, R7       ; &a[j]
+    LD   R4, [R3]
+    LD   R5, [R3+4]
+    CMP  R4, R5
+    BLE  noswap
+    ST   R5, [R3]
+    ST   R4, [R3+4]
+noswap:
+    ADDI R2, R2, 1
+    BRA  inner
+endinner:
+    ADDI R1, R1, 1
+    BRA  outer
+sorted:
+    HALT
+.org ARR
+arr:
+    .word 14, 3, 9, 1, 16, 5, 11, 2, 8, 15, 4, 12, 7, 10, 6, 13
+`,
+	}
+}
+
+// MatMul multiplies two 4x4 matrices and halts.
+func MatMul() Spec {
+	results := make([]uint32, 16)
+	for i := range results {
+		results[i] = matCAddr + uint32(4*i)
+	}
+	return Spec{
+		Name:           "matmul",
+		Description:    "4x4 integer matrix multiply (batch, self-terminating)",
+		TerminatesSelf: true,
+		MaxCycles:      100000,
+		ResultAddrs:    results,
+		Source: `
+; matmul: C = A * B for 4x4 matrices of words.
+.equ A, 0x4100
+.equ B, 0x4140
+.equ C, 0x4180
+start:
+    LDI  R7, A
+    LDI  R8, B
+    LDI  R9, C
+    LDI  R1, 0            ; i
+iloop:
+    CMPI R1, 4
+    BGE  mdone
+    LDI  R2, 0            ; j
+jloop:
+    CMPI R2, 4
+    BGE  jdone
+    LDI  R3, 0            ; k
+    LDI  R4, 0            ; acc
+kloop:
+    CMPI R3, 4
+    BGE  kdone
+    LDI  R5, 4
+    MUL  R5, R1, R5       ; i*4
+    ADD  R5, R5, R3       ; i*4+k
+    LDI  R6, 4
+    MUL  R5, R5, R6
+    ADD  R5, R5, R7
+    LD   R5, [R5]         ; A[i][k]
+    LDI  R6, 4
+    MUL  R6, R3, R6       ; k*4
+    ADD  R6, R6, R2       ; k*4+j
+    LDI  R10, 4
+    MUL  R6, R6, R10
+    ADD  R6, R6, R8
+    LD   R6, [R6]         ; B[k][j]
+    MUL  R5, R5, R6
+    ADD  R4, R4, R5
+    ADDI R3, R3, 1
+    BRA  kloop
+kdone:
+    LDI  R5, 4
+    MUL  R5, R1, R5
+    ADD  R5, R5, R2
+    LDI  R6, 4
+    MUL  R5, R5, R6
+    ADD  R5, R5, R9
+    ST   R4, [R5]         ; C[i][j]
+    ADDI R2, R2, 1
+    BRA  jloop
+jdone:
+    ADDI R1, R1, 1
+    BRA  iloop
+mdone:
+    HALT
+.org A
+    .word 1, 2, 3, 4
+    .word 5, 6, 7, 8
+    .word 9, 10, 11, 12
+    .word 13, 14, 15, 16
+.org B
+    .word 17, 18, 19, 20
+    .word 21, 22, 23, 24
+    .word 25, 26, 27, 28
+    .word 29, 30, 31, 32
+`,
+	}
+}
+
+// MatMulExpected returns the correct product for MatMul's fixed operands.
+func MatMulExpected() []uint32 {
+	a := [4][4]int64{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}, {13, 14, 15, 16}}
+	b := [4][4]int64{{17, 18, 19, 20}, {21, 22, 23, 24}, {25, 26, 27, 28}, {29, 30, 31, 32}}
+	out := make([]uint32, 0, 16)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var sum int64
+			for k := 0; k < 4; k++ {
+				sum += a[i][k] * b[k][j]
+			}
+			out = append(out, uint32(sum))
+		}
+	}
+	return out
+}
+
+// CRC16 computes CRC-16/CCITT over a 32-byte block and halts.
+func CRC16() Spec {
+	return Spec{
+		Name:           "crc16",
+		Description:    "CRC-16/CCITT over a 32-byte block (batch, self-terminating)",
+		TerminatesSelf: true,
+		MaxCycles:      200000,
+		ResultAddrs:    []uint32{crcResultAddr},
+		Source: `
+; crc16: CRC-16/CCITT-FALSE (init 0xFFFF, poly 0x1021) over LEN bytes.
+.equ DATA, 0x4200
+.equ LEN, 32
+.equ RESULT, 0x4300
+start:
+    LDI  R1, DATA
+    LDI  R2, 0            ; index
+    LDI  R3, 0xFFFF       ; crc
+byteloop:
+    CMPI R2, LEN
+    BGE  crcdone
+    ADD  R4, R1, R2
+    LDB  R5, [R4]
+    LDI  R6, 8
+    SHL  R5, R5, R6
+    XOR  R3, R3, R5
+    LDI  R7, 8            ; bit counter
+bitloop:
+    CMPI R7, 0
+    BEQ  bitdone
+    LDI  R8, 0x8000
+    AND  R8, R3, R8
+    LDI  R9, 1
+    SHL  R3, R3, R9
+    CMPI R8, 0
+    BEQ  nopoly
+    LDI  R9, 0x1021
+    XOR  R3, R3, R9
+nopoly:
+    LDI  R9, 0xFFFF
+    AND  R3, R3, R9
+    SUBI R7, R7, 1
+    BRA  bitloop
+bitdone:
+    ADDI R2, R2, 1
+    BRA  byteloop
+crcdone:
+    LDI  R1, RESULT
+    ST   R3, [R1]
+    HALT
+.org DATA
+    .word 0x03020100, 0x07060504, 0x0b0a0908, 0x0f0e0d0c
+    .word 0x13121110, 0x17161514, 0x1b1a1918, 0x1f1e1d1c
+`,
+	}
+}
+
+// CRC16Expected computes the reference CRC for CRC16's fixed data.
+func CRC16Expected() uint32 {
+	crc := uint32(0xFFFF)
+	for b := 0; b < crcDataBytes; b++ {
+		crc ^= uint32(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = (crc << 1) ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+			crc &= 0xFFFF
+		}
+	}
+	return crc
+}
+
+// Fibonacci computes fib(12) by naive recursion. It is the stack-heavy
+// workload: hundreds of subprogram calls with PUSH/POP frames, giving
+// call-triggered injection plenty of events and the stack-limit EDM a
+// realistic chance of firing under stack-pointer faults.
+func Fibonacci() Spec {
+	return Spec{
+		Name:           "fib",
+		Description:    "recursive fib(12) exercising the stack and subprogram calls",
+		TerminatesSelf: true,
+		MaxCycles:      100000,
+		ResultAddrs:    []uint32{fibResultAddr},
+		Source: `
+; fib: naive recursion, result at RESULT.
+.equ RESULT, 0x4400
+.equ N, 12
+start:
+    LDI  R1, N
+    CALL fib              ; R2 = fib(N)
+    LDI  R3, RESULT
+    ST   R2, [R3]
+    HALT
+
+; fib(R1) -> R2; preserves nothing else.
+fib:
+    CMPI R1, 2
+    BLT  base
+    PUSH R1
+    PUSH LR
+    SUBI R1, R1, 1
+    CALL fib              ; R2 = fib(n-1)
+    POP  LR
+    POP  R1
+    PUSH R2
+    PUSH LR
+    SUBI R1, R1, 2
+    CALL fib              ; R2 = fib(n-2)
+    POP  LR
+    POP  R3
+    ADD  R2, R2, R3
+    RET
+base:
+    MOV  R2, R1           ; fib(0)=0, fib(1)=1
+    RET
+`,
+	}
+}
+
+// FibonacciExpected returns fib(12), the reference result.
+func FibonacciExpected() uint32 {
+	a, b := uint32(0), uint32(1)
+	for i := 0; i < 12; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Control is the jet-engine control application with executable assertions
+// and best-effort recovery (paper ref. [12]). It runs as an infinite loop,
+// exchanging [command] for [speed, setpoint] with the jet-engine environment
+// simulator every iteration.
+//
+// Two software error-handling layers are present:
+//   - assertion 1 checks the speed reading against its physical range and
+//     recovers by reusing the last good reading (best-effort recovery);
+//   - assertion 2 re-checks the actuator command after clamping; a
+//     violation is impossible in a fault-free run, so it TRAPs — the
+//     "detected by software assertion" outcome.
+func Control() Spec {
+	return Spec{
+		Name:           "control",
+		Description:    "jet-engine PI control loop with executable assertions + best-effort recovery",
+		TerminatesSelf: false,
+		MaxIterations:  120,
+		MaxCycles:      200000,
+		Env:            "jet-engine",
+		OutputAddrs:    []uint32{ctlOutCmd},
+		InputAddrs:     []uint32{ctlInSpeed, ctlInSetpt},
+		ResultAddrs:    []uint32{ctlLastCmd, ctlLastSpd},
+		Source: `
+; control: incremental PI speed controller with executable assertions.
+.equ IN_SPEED, 0x7000
+.equ IN_SETPT, 0x7004
+.equ OUT_CMD,  0x7010
+.equ LASTCMD,  0x7020
+.equ LASTSPD,  0x7024
+.equ CMD_MAX,  4095
+.equ SPD_MAX,  20000
+start:
+    LDI  R1, 2048
+    LDI  R2, LASTCMD
+    ST   R1, [R2]
+    LDI  R1, 2000
+    LDI  R2, LASTSPD
+    ST   R1, [R2]
+loop:
+    LDI  R2, IN_SPEED
+    LD   R3, [R2]         ; speed
+    LDI  R2, IN_SETPT
+    LD   R4, [R2]         ; setpoint
+
+    ; executable assertion 1: 0 <= speed <= SPD_MAX, else best-effort
+    ; recovery with the last good reading.
+    CMPI R3, 0
+    BLT  badspeed
+    LDI  R5, SPD_MAX
+    CMP  R3, R5
+    BGT  badspeed
+    LDI  R2, LASTSPD
+    ST   R3, [R2]
+    BRA  speedok
+badspeed:
+    LDI  R2, LASTSPD
+    LD   R3, [R2]
+speedok:
+
+    CALL compute          ; R5 = new clamped command
+
+    LDI  R2, OUT_CMD
+    ST   R5, [R2]
+    LDI  R2, LASTCMD
+    ST   R5, [R2]
+    SYNC
+    YIELD
+    BRA  loop
+
+; compute: cmd = clamp(lastcmd + (setpoint - speed) >> 5) with a hard
+; executable assertion on the result.
+compute:
+    LDI  R2, LASTCMD
+    LD   R5, [R2]
+    SUB  R6, R4, R3
+    LDI  R7, 5
+    SAR  R6, R6, R7
+    ADD  R5, R5, R6
+
+    ; clamp to [0, CMD_MAX]
+    CMPI R5, 0
+    BGE  notneg
+    LDI  R5, 0
+notneg:
+    LDI  R7, CMD_MAX
+    CMP  R5, R7
+    BLE  notbig
+    MOV  R5, R7
+notbig:
+
+    ; executable assertion 2: impossible unless corrupted -> TRAP.
+    CMPI R5, 0
+    BLT  corrupt
+    LDI  R7, CMD_MAX
+    CMP  R5, R7
+    BGT  corrupt
+    RET
+corrupt:
+    TRAP 42
+`,
+	}
+}
+
+// ControlAssertionTrapCode is the TRAP code of the control workload's hard
+// assertion; analysis uses it to attribute detections to the software layer.
+const ControlAssertionTrapCode = 42

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"goofi/internal/asm"
+)
+
+func TestAllSpecsValid(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("workloads = %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Description == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+	}
+}
+
+func TestAllSourcesAssemble(t *testing.T) {
+	for _, w := range All() {
+		if _, err := asm.Assemble(w.Source); err != nil {
+			t.Errorf("%s does not assemble: %v", w.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Source: "NOP"}, // MaxCycles 0
+		{Name: "x", Source: "NOP", MaxCycles: 10}, // non-terminating, no iterations
+		{Name: "", Source: "NOP", TerminatesSelf: true, MaxCycles: 1},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, s)
+		}
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("names = %v", names)
+	}
+	// Sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		w, err := Get(n)
+		if err != nil || w.Name != n {
+			t.Errorf("Get(%s) = %v, %v", n, w.Name, err)
+		}
+	}
+	if _, err := Get("missing"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
+
+func TestExpectedHelpers(t *testing.T) {
+	if FibonacciExpected() != 144 {
+		t.Fatalf("fib(12) = %d", FibonacciExpected())
+	}
+	if CRC16Expected() == 0 || CRC16Expected() > 0xFFFF {
+		t.Fatalf("crc = %#x", CRC16Expected())
+	}
+	want := MatMulExpected()
+	if len(want) != 16 || want[0] != 1*17+2*21+3*25+4*29 {
+		t.Fatalf("matmul expected = %v", want)
+	}
+}
+
+func TestControlWorkloadShape(t *testing.T) {
+	c := Control()
+	if c.TerminatesSelf {
+		t.Fatal("control must be an infinite loop")
+	}
+	if c.Env != "jet-engine" || len(c.OutputAddrs) != 1 || len(c.InputAddrs) != 2 {
+		t.Fatalf("exchange config = %+v", c)
+	}
+	// The hard assertion's TRAP code must appear in the source.
+	if !strings.Contains(c.Source, "TRAP 42") {
+		t.Fatal("control source lost its assertion TRAP")
+	}
+	if ControlAssertionTrapCode != 42 {
+		t.Fatal("trap code constant out of sync")
+	}
+}
+
+func TestExchangeAddressesAreInIOWindow(t *testing.T) {
+	// The control workload's exchange words must live in the uncached I/O
+	// window [0x7000, 0x8000) of the default config, or the workload would
+	// read stale cached inputs.
+	c := Control()
+	for _, a := range append(append([]uint32{}, c.OutputAddrs...), c.InputAddrs...) {
+		if a < 0x7000 || a >= 0x8000 {
+			t.Errorf("exchange address %#x outside the I/O window", a)
+		}
+	}
+}
