@@ -1,0 +1,30 @@
+# CI entry points for the GOOFI reproduction. `make ci` is what every PR
+# must keep green: vet, build, the full test suite, the race-checked core
+# (the concurrent campaign runner), and a short benchmark smoke run.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The worker-pool campaign engine lives in internal/core; run it under the
+# race detector on every change.
+race:
+	$(GO) test -race ./internal/core/...
+
+# Short benchmark smoke: the parallel campaign sweep plus the injection
+# micro-benchmark, just enough iterations to catch regressions in wiring.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x .
+
+ci: vet build test race bench

@@ -133,8 +133,12 @@ func cmdRun(args []string) error {
 	dbPath := fs.String("db", "", "campaign database file")
 	name := fs.String("campaign", "", "campaign name")
 	quiet := fs.Bool("quiet", false, "suppress per-experiment progress")
+	workers := fs.Int("workers", 1, "parallel workers, each on its own target instance (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 1 {
+		return fmt.Errorf("run: -workers must be at least 1, got %d", *workers)
 	}
 	db, err := openDB(*dbPath)
 	if err != nil {
@@ -148,8 +152,10 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	c.Workers = *workers
 	ops := goofi.NewThorTarget()
 	r := goofi.NewRunner(ops, db, c)
+	r.Factory = goofi.ThorTargetFactory()
 	if !*quiet {
 		r.OnProgress = func(p goofi.Progress) {
 			fmt.Printf("\r[%-40s] %d/%d  %-40s", bar(p.Done, p.Total, 40), p.Done, p.Total, p.LastOutcome)

@@ -70,7 +70,7 @@ Usage:
                   -locations FILTER [-model M] [-n N] [-seed S]
                   [-tmin C] [-tmax C] [-trigger SPEC] [-detail] [-notes TEXT]
   goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
-  goofi run       -db FILE -campaign NAME [-quiet]
+  goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
   goofi trace     -db FILE -campaign NAME -experiment NAME
   goofi show      -db FILE -experiment NAME

@@ -86,6 +86,9 @@ type (
 	// TargetOperations is the abstract operation set every target system
 	// implements (the paper's FaultInjectionAlgorithms abstract methods).
 	TargetOperations = target.Operations
+	// TargetFactory mints independent target instances for parallel
+	// campaign execution (one per worker).
+	TargetFactory = target.Factory
 	// BaseTarget is the Framework template: embed it and override only the
 	// operations your techniques need (paper Fig. 3).
 	BaseTarget = target.BaseTarget
@@ -154,6 +157,18 @@ func NewThorTargetWithConfig(cfg thor.Config) *ThorTarget { return target.NewTho
 // ThorConfig returns the default processor configuration for customisation.
 func ThorConfig() thor.Config { return thor.DefaultConfig() }
 
+// ThorTargetFactory mints independent default-configured Thor targets — set
+// it as Runner.Factory (or pass it to RunCampaignParallel) to run campaigns
+// with Campaign.Workers parallel workers.
+func ThorTargetFactory() TargetFactory { return target.DefaultThorFactory() }
+
+// ThorTargetFactoryWithConfig mints independent Thor targets sharing a
+// custom processor configuration.
+func ThorTargetFactoryWithConfig(cfg thor.Config) TargetFactory { return target.ThorFactory(cfg) }
+
+// SimpleTargetFactory mints independent simple accumulator-machine targets.
+func SimpleTargetFactory() TargetFactory { return target.SimpleFactory() }
+
 // OpenDatabase opens (or creates) a file-backed campaign database.
 func OpenDatabase(path string) (*Database, error) { return dbase.OpenStore(path) }
 
@@ -176,6 +191,18 @@ func NewRunner(ops TargetOperations, db *Database, c Campaign) *Runner {
 func RunCampaign(ctx context.Context, ops TargetOperations, db *Database, c Campaign, onProgress func(Progress)) (Summary, error) {
 	r := core.NewRunner(ops, db, c)
 	r.OnProgress = onProgress
+	return r.Run(ctx)
+}
+
+// RunCampaignParallel is RunCampaign with a worker pool: c.Workers workers,
+// each on its own factory-minted target, with the logged result row-identical
+// to a sequential run (plans are pre-drawn in experiment order from the
+// campaign seed). ops still performs validation and the reference run.
+func RunCampaignParallel(ctx context.Context, ops TargetOperations, factory TargetFactory,
+	db *Database, c Campaign, onProgress func(Progress)) (Summary, error) {
+	r := core.NewRunner(ops, db, c)
+	r.OnProgress = onProgress
+	r.Factory = factory
 	return r.Run(ctx)
 }
 

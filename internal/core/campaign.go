@@ -46,6 +46,13 @@ type Campaign struct {
 	// DetailMode logs the system state after every instruction (§3.3).
 	DetailMode bool
 	Notes      string
+	// Workers selects parallel campaign execution: with Workers > 1 and a
+	// Runner.Factory set, experiments fan out to that many workers, each on
+	// its own target instance. 0 or 1 runs sequentially. Workers is an
+	// execution-engine knob, not part of the campaign definition, and is not
+	// persisted in the CampaignData row — the logged result of a campaign is
+	// identical at any worker count.
+	Workers int
 }
 
 // Row converts the campaign to its CampaignData representation.

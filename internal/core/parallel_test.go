@@ -1,0 +1,261 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goofi/internal/dbase"
+	"goofi/internal/target"
+	"goofi/internal/workload"
+)
+
+func campaignRows(t *testing.T, store *dbase.Store, name string) []dbase.ExperimentRow {
+	t.Helper()
+	rows, err := store.Experiments(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestParallelCampaignMatchesSequential is the determinism contract of the
+// worker pool: a W=4 run must produce experiment rows identical to a
+// sequential run of the same campaign — same names, terminations, cycle
+// counts and state vectors — because all plans are pre-drawn from the seeded
+// PRNG in experiment order and every experiment fully resets its target.
+func TestParallelCampaignMatchesSequential(t *testing.T) {
+	c := scifiCampaign("par-det", 12)
+
+	opsSeq, storeSeq := newEnv(t)
+	if _, err := NewRunner(opsSeq, storeSeq, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	cPar := c
+	cPar.Workers = 4
+	opsPar, storePar := newEnv(t)
+	r := NewRunner(opsPar, storePar, cPar)
+	r.Factory = target.DefaultThorFactory()
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != c.NExperiments {
+		t.Fatalf("completed = %d, want %d", sum.Completed, c.NExperiments)
+	}
+
+	seq := campaignRows(t, storeSeq, c.Name)
+	par := campaignRows(t, storePar, c.Name)
+	if len(seq) != c.NExperiments+1 || len(par) != len(seq) {
+		t.Fatalf("rows: sequential %d, parallel %d, want %d", len(seq), len(par), c.NExperiments+1)
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("row %d differs:\nsequential: %+v\nparallel:   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestParallelControlWorkloadMatchesSequential runs the determinism check
+// over the control workload: every worker owns its own environment
+// simulator, and the recorded environment histories in the state vectors
+// must still be bit-identical to a sequential run.
+func TestParallelControlWorkloadMatchesSequential(t *testing.T) {
+	c := scifiCampaign("par-ctl", 6)
+	c.Workload = workload.Control()
+	c.InjectMinTime = 100
+	c.InjectMaxTime = 3000
+
+	opsSeq, storeSeq := newEnv(t)
+	if _, err := NewRunner(opsSeq, storeSeq, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	cPar := c
+	cPar.Workers = 3
+	opsPar, storePar := newEnv(t)
+	r := NewRunner(opsPar, storePar, cPar)
+	r.Factory = target.DefaultThorFactory()
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	seq := campaignRows(t, storeSeq, c.Name)
+	par := campaignRows(t, storePar, c.Name)
+	if len(seq) != len(par) {
+		t.Fatalf("rows: sequential %d, parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("row %d (%s) differs between sequential and parallel run", i, seq[i].ExperimentName)
+		}
+	}
+}
+
+// TestParallelResumeAfterStop stops a parallel campaign mid-flight and
+// resumes it with a fresh runner: completed work must not be redone or
+// double-logged, and the final rows must match an uninterrupted run.
+func TestParallelResumeAfterStop(t *testing.T) {
+	const n = 20
+	c := scifiCampaign("par-resume", n)
+
+	opsClean, storeClean := newEnv(t)
+	if _, err := NewRunner(opsClean, storeClean, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	cPar := c
+	cPar.Workers = 4
+	ops, store := newEnv(t)
+	r := NewRunner(ops, store, cPar)
+	r.Factory = target.DefaultThorFactory()
+	var stopOnce sync.Once
+	r.OnProgress = func(p Progress) {
+		if p.Done >= 6 {
+			stopOnce.Do(r.Stop)
+		}
+	}
+	sum, err := r.Run(context.Background())
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if sum.Completed == 0 || sum.Completed >= n {
+		t.Fatalf("stopped campaign completed %d of %d", sum.Completed, n)
+	}
+	if got := campaignRows(t, store, c.Name); len(got) != sum.Completed+1 {
+		t.Fatalf("stopped campaign logged %d rows, summary says %d", len(got), sum.Completed+1)
+	}
+
+	r2 := NewRunner(target.NewDefaultThorTarget(), store, cPar)
+	r2.Factory = target.DefaultThorFactory()
+	sum2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every experiment ran exactly once across the two runs: a redone
+	// experiment would be double-counted here (and double-logging would
+	// fail the primary-key constraint above).
+	if sum.Completed+sum2.Completed != n {
+		t.Fatalf("split %d + %d, want %d total", sum.Completed, sum2.Completed, n)
+	}
+
+	want := campaignRows(t, storeClean, c.Name)
+	got := campaignRows(t, store, c.Name)
+	if len(got) != len(want) {
+		t.Fatalf("resumed rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("row %d differs after resume:\nclean:   %+v\nresumed: %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelPauseResume exercises Pause/Resume against the dispatcher
+// (under -race this is the concurrency check of the worker pool).
+func TestParallelPauseResume(t *testing.T) {
+	c := scifiCampaign("par-pause", 10)
+	c.Workers = 2
+	ops, store := newEnv(t)
+	r := NewRunner(ops, store, c)
+	r.Factory = target.DefaultThorFactory()
+	var pauseOnce sync.Once
+	r.OnProgress = func(p Progress) {
+		pauseOnce.Do(func() {
+			r.Pause()
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				r.Resume()
+			}()
+		})
+	}
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != c.NExperiments {
+		t.Fatalf("completed = %d, want %d", sum.Completed, c.NExperiments)
+	}
+}
+
+// TestParallelStopCondition: the adaptive stop ends dispatch early; results
+// already in flight drain into the log, so the campaign completes at least
+// the threshold and at most threshold + workers experiments.
+func TestParallelStopCondition(t *testing.T) {
+	c := scifiCampaign("par-cond", 40)
+	c.Workers = 4
+	ops, store := newEnv(t)
+	r := NewRunner(ops, store, c)
+	r.Factory = target.DefaultThorFactory()
+	r.StopCondition = func(s Summary) bool { return s.Completed >= 5 }
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed < 5 || sum.Completed >= c.NExperiments {
+		t.Fatalf("completed = %d, want early stop at >= 5", sum.Completed)
+	}
+	if got := campaignRows(t, store, c.Name); len(got) != sum.Completed+1 {
+		t.Fatalf("logged %d rows, summary says %d", len(got), sum.Completed+1)
+	}
+}
+
+// TestParallelWorkersRequireFactory: Workers > 1 without a Factory is a
+// configuration error, not a silent fall-back.
+func TestParallelWorkersRequireFactory(t *testing.T) {
+	c := scifiCampaign("par-nofactory", 4)
+	c.Workers = 4
+	ops, store := newEnv(t)
+	_, err := NewRunner(ops, store, c).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "Factory") {
+		t.Fatalf("err = %v, want a Factory configuration error", err)
+	}
+}
+
+// TestRunPropagatesStoreErrors: a failing store lookup must surface instead
+// of being treated as "experiment absent" — silently re-running completed
+// work would corrupt a resumed campaign.
+func TestRunPropagatesStoreErrors(t *testing.T) {
+	ops, store := newEnv(t)
+	c := scifiCampaign("store-err", 3)
+	if _, err := NewRunner(ops, store, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DB().ExecScript("DROP TABLE AnalysisResult; DROP TABLE LoggedSystemState;"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewRunner(target.NewDefaultThorTarget(), store, c).Run(context.Background())
+	if err == nil || errors.Is(err, dbase.ErrNotFound) {
+		t.Fatalf("err = %v, want a propagated store error", err)
+	}
+}
+
+// TestParseExperimentPlanEdgeCases complements TestParseExperimentPlan with
+// offsets and malformed inputs.
+func TestParseExperimentPlanEdgeCases(t *testing.T) {
+	p, err := parseExperimentPlan("note=x plan=[t=7 flip scan:internal.core:3] injected=1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Injections) != 1 || p.Injections[0].Time != 7 {
+		t.Fatalf("plan = %+v", p)
+	}
+	// A ']' before the prefix must not terminate the plan early.
+	p, err = parseExperimentPlan("w[3] plan=[] injected=0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Injections) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+	for _, bad := range []string{"", "plan=[", "plan=[t=1 flip scan:internal.core:3", "injected=1/1", "plan=]"} {
+		if _, err := parseExperimentPlan(bad); err == nil {
+			t.Errorf("parseExperimentPlan(%q) accepted malformed input", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"goofi/internal/dbase"
@@ -68,6 +69,12 @@ type Runner struct {
 	// error (an adaptive alternative to a fixed NExperiments, e.g. "stop
 	// once enough detections accumulated for the target confidence").
 	StopCondition func(Summary) bool
+
+	// Factory, when set, supplies independent target instances for parallel
+	// execution (Campaign.Workers > 1): one target per worker, so
+	// experiments share no simulator state. The runner's own ops still
+	// performs validation and the reference run.
+	Factory target.Factory
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -175,7 +182,11 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	// makeReferenceRun), logged under <campaign>/ref. A stopped campaign
 	// that is re-run resumes instead of redoing completed work (the
 	// "restart" control of Fig. 7): the logged reference is reused.
-	if !r.haveExperiment(c.Name + RefSuffix) {
+	haveRef, err := r.haveExperiment(c.Name + RefSuffix)
+	if err != nil {
+		return Summary{}, err
+	}
+	if !haveRef {
 		ref, err := tech.run(r.ops, c, faultmodel.Plan{})
 		if err != nil {
 			return Summary{}, fmt.Errorf("core: reference run: %w", err)
@@ -185,6 +196,10 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		}
 		r.report(Progress{Campaign: c.Name, Done: 0, Total: c.NExperiments,
 			LastOutcome: "reference " + ref.Term.Reason.String()})
+	}
+
+	if c.Workers > 1 {
+		return r.runParallel(tech, locs, sum)
 	}
 
 	rng := rand.New(rand.NewSource(c.Seed))
@@ -204,7 +219,11 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
-		if r.haveExperiment(name) {
+		have, err := r.haveExperiment(name)
+		if err != nil {
+			return sum, err
+		}
+		if have {
 			continue
 		}
 		exp, err := tech.run(r.ops, c, plan)
@@ -214,19 +233,228 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		if err := r.logExperiment(name, "", exp); err != nil {
 			return sum, err
 		}
-		sum.Completed++
-		sum.Terminations[exp.Term.Reason.String()]++
-		if exp.Term.Reason == target.TerminDetected {
-			sum.Detections[exp.Term.Mechanism]++
-		}
-		outcome := exp.Term.Reason.String()
-		if exp.Term.Mechanism != "" {
-			outcome += " (" + exp.Term.Mechanism + ")"
-		}
-		r.report(Progress{Campaign: c.Name, Done: i + 1, Total: c.NExperiments, LastOutcome: outcome})
+		r.account(&sum, exp)
+		r.report(Progress{Campaign: c.Name, Done: i + 1, Total: c.NExperiments, LastOutcome: outcomeOf(exp)})
 		if r.StopCondition != nil && r.StopCondition(sum) {
 			return sum, nil
 		}
+	}
+	return sum, nil
+}
+
+// account folds one completed experiment into the running summary.
+func (r *Runner) account(sum *Summary, exp Experiment) {
+	sum.Completed++
+	sum.Terminations[exp.Term.Reason.String()]++
+	if exp.Term.Reason == target.TerminDetected {
+		sum.Detections[exp.Term.Mechanism]++
+	}
+}
+
+// outcomeOf renders an experiment's termination for progress reporting.
+func outcomeOf(exp Experiment) string {
+	outcome := exp.Term.Reason.String()
+	if exp.Term.Mechanism != "" {
+		outcome += " (" + exp.Term.Mechanism + ")"
+	}
+	return outcome
+}
+
+// parallelJob is one pre-planned experiment awaiting a worker.
+type parallelJob struct {
+	idx  int
+	name string
+	plan faultmodel.Plan
+}
+
+// parallelResult is one finished experiment on its way to the logging stage.
+type parallelResult struct {
+	idx  int
+	name string
+	exp  Experiment
+	err  error
+}
+
+// maxLogBatch caps how many experiment rows accumulate before the logging
+// stage flushes them in one batched insert.
+const maxLogBatch = 32
+
+// runParallel is the worker-pool campaign engine. Every injection plan is
+// pre-drawn here, on the coordinating goroutine, from the single seeded PRNG
+// in experiment order — the PRNG stream, and therefore every experiment, is
+// bit-identical to a sequential run. Experiments then fan out to
+// Campaign.Workers workers, each owning a factory-minted target instance,
+// and results funnel back through a logging stage that batches rows into
+// dbase.Store.PutExperiments. Resume semantics (completed experiments are
+// skipped before dispatch), Pause/Stop (honoured between dispatches;
+// in-flight experiments drain and are logged) and StopCondition are
+// preserved. Progress is reported in completion order, which is the only
+// observable difference from a sequential run.
+func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, sum Summary) (Summary, error) {
+	c := r.campaign
+	if r.Factory == nil {
+		return sum, fmt.Errorf("core: campaign %s: parallel execution (Workers=%d) needs a Runner.Factory",
+			c.Name, c.Workers)
+	}
+	planFn := c.Model.Plan
+	if r.PlanFunc != nil {
+		planFn = r.PlanFunc
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	jobs := make([]parallelJob, 0, c.NExperiments)
+	skipped := 0
+	for i := 0; i < c.NExperiments; i++ {
+		// Drawn even for experiments skipped on resume, exactly like the
+		// sequential loop: the stream stays aligned.
+		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
+		if err != nil {
+			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		}
+		name := fmt.Sprintf("%s/e%04d", c.Name, i)
+		have, err := r.haveExperiment(name)
+		if err != nil {
+			return sum, err
+		}
+		if have {
+			skipped++
+			continue
+		}
+		jobs = append(jobs, parallelJob{idx: i, name: name, plan: plan})
+	}
+
+	workers := c.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 0 {
+		return sum, nil
+	}
+	// Mint every worker's target up front so a factory failure aborts
+	// before any experiment runs.
+	targets := make([]target.Operations, workers)
+	for i := range targets {
+		ops, err := r.Factory.New()
+		if err != nil {
+			return sum, fmt.Errorf("core: campaign %s: worker %d: %w", c.Name, i, err)
+		}
+		targets[i] = ops
+	}
+
+	jobCh := make(chan parallelJob)
+	resCh := make(chan parallelResult, workers)
+	haltDispatch := make(chan struct{})
+	var haltOnce sync.Once
+	halt := func() { haltOnce.Do(func() { close(haltDispatch) }) }
+
+	var wg sync.WaitGroup
+	for _, ops := range targets {
+		wg.Add(1)
+		go func(ops target.Operations) {
+			defer wg.Done()
+			ops.SetDetailMode(c.DetailMode)
+			defer ops.SetDetailMode(false)
+			if cp, ok := ops.(target.Checkpointer); ok {
+				cp.ClearCheckpoint()
+			}
+			for j := range jobCh {
+				exp, err := tech.run(ops, c, j.plan)
+				resCh <- parallelResult{idx: j.idx, name: j.name, exp: exp, err: err}
+			}
+		}(ops)
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// The dispatcher honours Pause and Stop between experiments exactly
+	// like the sequential loop: checkpoint blocks while paused and aborts
+	// dispatch on Stop; in-flight experiments then drain into the log.
+	go func() {
+		defer close(jobCh)
+		for _, j := range jobs {
+			if r.checkpoint() != nil {
+				return
+			}
+			select {
+			case jobCh <- j:
+			case <-haltDispatch:
+				return
+			}
+		}
+	}()
+
+	// Logging stage: results are folded into the summary as they arrive and
+	// buffered into batched inserts; the batch flushes when full or when the
+	// result stream runs momentarily dry, so logging latency stays bounded.
+	var (
+		pending  []dbase.ExperimentRow
+		firstErr error
+		condStop bool
+	)
+	done := skipped
+	received := 0
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		err := r.store.PutExperiments(pending)
+		pending = pending[:0]
+		if err != nil && firstErr == nil {
+			firstErr = err
+			halt()
+		}
+	}
+	handle := func(res parallelResult) {
+		received++
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: experiment %d: %w", res.idx, res.err)
+				halt()
+			}
+			return
+		}
+		if firstErr != nil {
+			return
+		}
+		pending = append(pending, r.experimentRow(res.name, "", res.exp))
+		done++
+		r.account(&sum, res.exp)
+		r.report(Progress{Campaign: c.Name, Done: done, Total: c.NExperiments, LastOutcome: outcomeOf(res.exp)})
+		if !condStop && r.StopCondition != nil && r.StopCondition(sum) {
+			condStop = true
+			halt()
+		}
+	}
+	for {
+		var res parallelResult
+		var ok bool
+		select {
+		case res, ok = <-resCh:
+		default:
+			flush()
+			res, ok = <-resCh
+		}
+		if !ok {
+			break
+		}
+		handle(res)
+		if len(pending) >= maxLogBatch {
+			flush()
+		}
+	}
+	flush()
+
+	if firstErr != nil {
+		return sum, firstErr
+	}
+	if condStop {
+		return sum, nil
+	}
+	if received < len(jobs) {
+		// Dispatch was cut short by Stop (or context cancellation, which
+		// maps to Stop): same contract as the sequential loop.
+		return sum, ErrStopped
 	}
 	return sum, nil
 }
@@ -254,8 +482,8 @@ func (r *Runner) report(p Progress) {
 	}
 }
 
-func (r *Runner) logExperiment(name, parent string, exp Experiment) error {
-	return r.store.PutExperiment(dbase.ExperimentRow{
+func (r *Runner) experimentRow(name, parent string, exp Experiment) dbase.ExperimentRow {
+	return dbase.ExperimentRow{
 		ExperimentName:    name,
 		ParentExperiment:  parent,
 		CampaignName:      r.campaign.Name,
@@ -265,7 +493,11 @@ func (r *Runner) logExperiment(name, parent string, exp Experiment) error {
 		Cycles:            exp.Term.Cycles,
 		Iterations:        exp.Term.Iterations,
 		StateVector:       exp.State.Encode(),
-	})
+	}
+}
+
+func (r *Runner) logExperiment(name, parent string, exp Experiment) error {
+	return r.store.PutExperiment(r.experimentRow(name, parent, exp))
 }
 
 // RerunDetail repeats a logged experiment in detail mode, logging the trace
@@ -306,30 +538,30 @@ func (r *Runner) RerunDetail(experimentName string) (string, error) {
 // column ("plan=[...] injected=k/n").
 func parseExperimentPlan(data string) (faultmodel.Plan, error) {
 	const prefix = "plan=["
-	start := -1
-	for i := 0; i+len(prefix) <= len(data); i++ {
-		if data[i:i+len(prefix)] == prefix {
-			start = i + len(prefix)
-			break
-		}
-	}
+	start := strings.Index(data, prefix)
 	if start < 0 {
 		return faultmodel.Plan{}, fmt.Errorf("core: experimentData %q has no plan", data)
 	}
-	end := start
-	for end < len(data) && data[end] != ']' {
-		end++
-	}
-	if end == len(data) {
+	start += len(prefix)
+	length := strings.IndexByte(data[start:], ']')
+	if length < 0 {
 		return faultmodel.Plan{}, fmt.Errorf("core: experimentData %q has unterminated plan", data)
 	}
-	return faultmodel.ParsePlan(data[start:end])
+	return faultmodel.ParsePlan(data[start : start+length])
 }
 
-// haveExperiment reports whether the experiment row already exists.
-func (r *Runner) haveExperiment(name string) bool {
+// haveExperiment reports whether the experiment row already exists. A store
+// failure is distinguished from absence and propagated: silently treating it
+// as "absent" would re-run and re-log completed work.
+func (r *Runner) haveExperiment(name string) (bool, error) {
 	_, err := r.store.GetExperiment(name)
-	return err == nil
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, dbase.ErrNotFound) {
+		return false, nil
+	}
+	return false, err
 }
 
 // PlanOfExperiment recovers the injection plan from a LoggedSystemState

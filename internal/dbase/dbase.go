@@ -13,6 +13,7 @@ package dbase
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"goofi/internal/sqldb"
 )
@@ -400,6 +401,38 @@ func (s *Store) PutExperiment(e ExperimentRow) error {
 	)
 	if err != nil {
 		return fmt.Errorf("dbase: put experiment %s: %w", e.ExperimentName, err)
+	}
+	return nil
+}
+
+// PutExperiments logs a batch of experiments through one multi-row INSERT,
+// amortising statement parsing and per-row constraint checks — the logging
+// stage of parallel campaign execution funnels worker results through this.
+func (s *Store) PutExperiments(rows []ExperimentRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO LoggedSystemState VALUES ")
+	args := make([]sqldb.Value, 0, 9*len(rows))
+	for i, e := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(?, ?, ?, ?, ?, ?, ?, ?, ?)")
+		parent := sqldb.Null()
+		if e.ParentExperiment != "" {
+			parent = sqldb.Text(e.ParentExperiment)
+		}
+		args = append(args,
+			sqldb.Text(e.ExperimentName), parent, sqldb.Text(e.CampaignName),
+			sqldb.Text(e.ExperimentData), sqldb.Text(e.TerminationReason),
+			sqldb.Text(e.Mechanism), sqldb.Int64(int64(e.Cycles)),
+			sqldb.Int64(int64(e.Iterations)), sqldb.Blob(e.StateVector))
+	}
+	if _, err := s.db.Exec(sb.String(), args...); err != nil {
+		return fmt.Errorf("dbase: put %d experiments (first %s): %w",
+			len(rows), rows[0].ExperimentName, err)
 	}
 	return nil
 }

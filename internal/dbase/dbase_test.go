@@ -2,7 +2,9 @@ package dbase
 
 import (
 	"errors"
+	"fmt"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -391,5 +393,59 @@ func TestForeignKeyToNonPrimaryColumn(t *testing.T) {
 	}
 	if _, err := s.DB().Exec("DELETE FROM host WHERE id = 1"); err == nil {
 		t.Fatal("referenced parent delete should fail")
+	}
+}
+
+func TestPutExperimentsBatch(t *testing.T) {
+	s := newStore(t)
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(sampleCampaign("batch")); err != nil {
+		t.Fatal(err)
+	}
+	// An empty batch is a no-op.
+	if err := s.PutExperiments(nil); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]ExperimentRow, 40)
+	for i := range rows {
+		rows[i] = ExperimentRow{
+			ExperimentName:    fmt.Sprintf("batch/e%04d", i),
+			CampaignName:      "batch",
+			ExperimentData:    "plan=[] injected=0/0",
+			TerminationReason: "workload-end",
+			Mechanism:         "",
+			Cycles:            uint64(1000 + i),
+			Iterations:        uint64(i),
+			StateVector:       []byte{byte(i), 0xAB},
+		}
+	}
+	// A parent reference within the batch resolves: rows insert in order.
+	rows[7].ParentExperiment = "batch/e0003"
+	if err := s.PutExperiments(rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Experiments("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("experiments = %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !reflect.DeepEqual(got[i], rows[i]) {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], rows[i])
+		}
+	}
+	// Constraint checking still applies to batched inserts.
+	bad := []ExperimentRow{{
+		ExperimentName:    "orphan/e0000",
+		CampaignName:      "no-such-campaign",
+		ExperimentData:    "plan=[] injected=0/0",
+		TerminationReason: "workload-end",
+	}}
+	if err := s.PutExperiments(bad); err == nil {
+		t.Fatal("batched insert with a dangling campaign FK should fail")
 	}
 }

@@ -1,0 +1,149 @@
+package target
+
+import (
+	"fmt"
+
+	"goofi/internal/simple"
+	"goofi/internal/workload"
+)
+
+// Word geometry of the simple checksum workload: the program lives at word
+// 0, sums sixteen data words at dataWord into resultWord.
+const (
+	simpleDataWord   = 0x200
+	simpleDataCount  = 16
+	simpleResultWord = 0x300
+)
+
+// SimpleTarget ports GOOFI to the 16-bit accumulator machine of
+// internal/simple — the minimal port of the paper's §2.2 extension story. It
+// embeds BaseTarget, so every scan operation stays on the framework default:
+// SWIFI works, SCIFI is rejected by campaign validation.
+type SimpleTarget struct {
+	BaseTarget
+	m *simple.Machine
+	w workload.Spec
+}
+
+// NewSimpleTarget builds the accumulator-machine target.
+func NewSimpleTarget() *SimpleTarget { return &SimpleTarget{m: simple.New()} }
+
+// Name identifies the accumulator test card.
+func (t *SimpleTarget) Name() string { return "simple-accu" }
+
+// InitTestCard resets the machine and zeroes its memory so no state leaks
+// between experiments (the machine's own Reset preserves memory).
+func (t *SimpleTarget) InitTestCard() error {
+	t.m.Reset()
+	for addr := uint16(0); int(addr) < simple.MemWords; addr++ {
+		if err := t.m.Write(addr, 0); err != nil {
+			return fmt.Errorf("target: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadWorkload installs the built-in checksum program with a deterministic
+// data block. The Spec's Source is documentation only — this machine has no
+// assembler.
+func (t *SimpleTarget) LoadWorkload(w workload.Spec) error {
+	prog := simple.ChecksumProgram(simpleDataWord, simpleDataCount, simpleResultWord)
+	for i, word := range prog {
+		if err := t.m.Write(uint16(i), word); err != nil {
+			return fmt.Errorf("target: workload %s: %w", w.Name, err)
+		}
+	}
+	for i := 0; i < simpleDataCount; i++ {
+		if err := t.m.Write(simpleDataWord+uint16(i), uint16(7*i+13)); err != nil {
+			return fmt.Errorf("target: workload %s: %w", w.Name, err)
+		}
+	}
+	t.w = w
+	return nil
+}
+
+// RunWorkload arms the program at address zero without executing anything.
+func (t *SimpleTarget) RunWorkload() error {
+	t.m.Reset()
+	return nil
+}
+
+// WriteMemory writes words through the host port. The machine's words are
+// 16 bits wide, so values are truncated — faults injected into the upper
+// half of a 32-bit word vanish, exactly like flipping a wire the narrow
+// machine does not have.
+func (t *SimpleTarget) WriteMemory(addr uint32, vals []uint32) error {
+	for i, v := range vals {
+		word := addr/4 + uint32(i)
+		if word > 0xFFFF {
+			return fmt.Errorf("target: address %#x out of range", addr+uint32(4*i))
+		}
+		if err := t.m.Write(uint16(word), uint16(v)); err != nil {
+			return fmt.Errorf("target: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMemory reads words through the host port.
+func (t *SimpleTarget) ReadMemory(addr uint32, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	for i := range out {
+		word := addr/4 + uint32(i)
+		if word > 0xFFFF {
+			return nil, fmt.Errorf("target: address %#x out of range", addr+uint32(4*i))
+		}
+		v, err := t.m.Read(uint16(word))
+		if err != nil {
+			return nil, fmt.Errorf("target: %w", err)
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+// WaitForTermination runs the program to completion within the cycle budget
+// and classifies the outcome.
+func (t *SimpleTarget) WaitForTermination(spec TerminationSpec) (Termination, error) {
+	budget := spec.MaxCycles
+	if budget == 0 {
+		budget = 1 << 20
+	}
+	for t.m.Status() == simple.StatusRunning && t.m.Cycles() < budget {
+		t.m.Step()
+	}
+	term := Termination{Cycles: t.m.Cycles()}
+	switch t.m.Status() {
+	case simple.StatusHalted:
+		term.Reason = TerminWorkloadEnd
+	case simple.StatusDetected:
+		term.Reason = TerminDetected
+		term.Mechanism = t.m.Mechanism()
+	default:
+		term.Reason = TerminTimeout
+	}
+	return term, nil
+}
+
+// MemLayout reports the machine's word-addressed memory as bytes.
+func (t *SimpleTarget) MemLayout() (uint32, uint32) { return simple.MemWords * 4, 0 }
+
+// SimpleChecksumWorkload describes the built-in checksum program of
+// SimpleTarget in workload.Spec terms, so the standard campaign machinery
+// (validation, logging, analysis) applies unchanged.
+func SimpleChecksumWorkload() workload.Spec {
+	return workload.Spec{
+		Name:           "simple-checksum",
+		Description:    "sum sixteen data words into a result word (built into the simple target)",
+		Source:         "; built-in: checksum of 16 words at 0x200 into 0x300 (no assembler on this target)",
+		TerminatesSelf: true,
+		MaxCycles:      4096,
+		ResultAddrs:    []uint32{4 * simpleResultWord},
+	}
+}
+
+// SimpleFactory mints independent accumulator-machine targets for parallel
+// campaign workers.
+func SimpleFactory() Factory {
+	return FactoryFunc(func() (Operations, error) { return NewSimpleTarget(), nil })
+}
