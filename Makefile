@@ -1,10 +1,15 @@
 # CI entry points for the GOOFI reproduction. `make ci` is what every PR
 # must keep green: vet, build, the full test suite, the race-checked core
-# (the concurrent campaign runner), and a short benchmark smoke run.
+# and scan packages (the concurrent campaign runner and the packed scan
+# datapath), and a short benchmark smoke run.
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+# Repetitions for `make bench`; 6+ samples give benchstat enough data for
+# a significance test.
+BENCHCOUNT ?= 6
+
+.PHONY: all build vet test race bench benchsmoke ci
 
 all: ci
 
@@ -17,14 +22,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# The worker-pool campaign engine lives in internal/core; run it under the
-# race detector on every change.
+# The worker-pool campaign engine lives in internal/core and the packed
+# bitset + TAP fast path in internal/scan; run both under the race
+# detector on every change.
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/scan/...
+
+# Benchstat-friendly benchmark run: every benchmark, with allocation
+# stats, repeated BENCHCOUNT times. Capture before/after and compare:
+#
+#	make bench > old.txt
+#	... apply change ...
+#	make bench > new.txt
+#	benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCHCOUNT) .
 
 # Short benchmark smoke: the parallel campaign sweep plus the injection
 # micro-benchmark, just enough iterations to catch regressions in wiring.
-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x .
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x -benchmem .
 
-ci: vet build test race bench
+ci: vet build test race benchsmoke

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"goofi/internal/core"
+	"goofi/internal/scan"
 )
 
 // PropagationReport compares the detail-mode traces of a faulted experiment
@@ -21,6 +22,9 @@ type PropagationReport struct {
 	FirstPC    uint32
 	// FirstDisasm is the faulted run's instruction at the divergence point.
 	FirstDisasm string
+	// FirstDiffBits counts the core-chain bits differing at the divergence
+	// sample — the error's initial footprint in the state elements.
+	FirstDiffBits int
 	// DifferingSamples counts trace records whose core state differs;
 	// ComparedSamples is the number of records compared (the shorter
 	// trace's length).
@@ -44,6 +48,8 @@ func ComparePropagation(ref, faulted *core.StateVector) (PropagationReport, erro
 	rep.ComparedSamples = n
 	for i := 0; i < n; i++ {
 		a, b := ref.Trace[i], faulted.Trace[i]
+		// The packed core images compare (and, at the divergence point,
+		// popcount) eight chain bits per byte — no unpacking.
 		if a.PC != b.PC || !bytes.Equal(a.Core, b.Core) {
 			rep.DifferingSamples++
 			if !rep.Diverged {
@@ -51,6 +57,7 @@ func ComparePropagation(ref, faulted *core.StateVector) (PropagationReport, erro
 				rep.FirstCycle = b.Cycle
 				rep.FirstPC = b.PC
 				rep.FirstDisasm = b.Disasm
+				rep.FirstDiffBits = scan.PackedOnesCountDiff(a.Core, b.Core)
 			}
 		}
 	}
@@ -84,6 +91,6 @@ func (r PropagationReport) String() string {
 		return fmt.Sprintf("identical prefix of %d instructions, then ran %d instructions longer than the reference",
 			r.ComparedSamples, r.LengthDelta)
 	}
-	return fmt.Sprintf("diverged at cycle %d (pc=%#x, %s); %d/%d samples differ; length delta %+d",
-		r.FirstCycle, r.FirstPC, r.FirstDisasm, r.DifferingSamples, r.ComparedSamples, r.LengthDelta)
+	return fmt.Sprintf("diverged at cycle %d (pc=%#x, %s, %d core bit(s)); %d/%d samples differ; length delta %+d",
+		r.FirstCycle, r.FirstPC, r.FirstDisasm, r.FirstDiffBits, r.DifferingSamples, r.ComparedSamples, r.LengthDelta)
 }

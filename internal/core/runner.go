@@ -178,15 +178,19 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		cp.ClearCheckpoint()
 	}
 
+	// One prefix-scan of the campaign's logged experiments answers every
+	// resume question below: a store failure is propagated rather than
+	// treated as "nothing logged", which would re-run completed work.
+	logged, err := r.store.ExperimentNames(c.Name)
+	if err != nil {
+		return Summary{}, err
+	}
+
 	// Reference run: the same algorithm with an empty plan (Fig. 2,
 	// makeReferenceRun), logged under <campaign>/ref. A stopped campaign
 	// that is re-run resumes instead of redoing completed work (the
 	// "restart" control of Fig. 7): the logged reference is reused.
-	haveRef, err := r.haveExperiment(c.Name + RefSuffix)
-	if err != nil {
-		return Summary{}, err
-	}
-	if !haveRef {
+	if !logged[c.Name+RefSuffix] {
 		ref, err := tech.run(r.ops, c, faultmodel.Plan{})
 		if err != nil {
 			return Summary{}, fmt.Errorf("core: reference run: %w", err)
@@ -199,7 +203,7 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	}
 
 	if c.Workers > 1 {
-		return r.runParallel(tech, locs, sum)
+		return r.runParallel(tech, locs, logged, sum)
 	}
 
 	rng := rand.New(rand.NewSource(c.Seed))
@@ -219,11 +223,7 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
-		have, err := r.haveExperiment(name)
-		if err != nil {
-			return sum, err
-		}
-		if have {
+		if logged[name] {
 			continue
 		}
 		exp, err := tech.run(r.ops, c, plan)
@@ -290,7 +290,7 @@ const maxLogBatch = 32
 // in-flight experiments drain and are logged) and StopCondition are
 // preserved. Progress is reported in completion order, which is the only
 // observable difference from a sequential run.
-func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, sum Summary) (Summary, error) {
+func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged map[string]bool, sum Summary) (Summary, error) {
 	c := r.campaign
 	if r.Factory == nil {
 		return sum, fmt.Errorf("core: campaign %s: parallel execution (Workers=%d) needs a Runner.Factory",
@@ -311,11 +311,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, sum Sum
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
-		have, err := r.haveExperiment(name)
-		if err != nil {
-			return sum, err
-		}
-		if have {
+		if logged[name] {
 			skipped++
 			continue
 		}
@@ -548,20 +544,6 @@ func parseExperimentPlan(data string) (faultmodel.Plan, error) {
 		return faultmodel.Plan{}, fmt.Errorf("core: experimentData %q has unterminated plan", data)
 	}
 	return faultmodel.ParsePlan(data[start : start+length])
-}
-
-// haveExperiment reports whether the experiment row already exists. A store
-// failure is distinguished from absence and propagated: silently treating it
-// as "absent" would re-run and re-log completed work.
-func (r *Runner) haveExperiment(name string) (bool, error) {
-	_, err := r.store.GetExperiment(name)
-	if err == nil {
-		return true, nil
-	}
-	if errors.Is(err, dbase.ErrNotFound) {
-		return false, nil
-	}
-	return false, err
 }
 
 // PlanOfExperiment recovers the injection plan from a LoggedSystemState

@@ -13,6 +13,25 @@ import (
 	"goofi/internal/target"
 )
 
+// encodedSize returns the exact Encode output length, so serialisation runs
+// as appends into one right-sized allocation.
+func (sv *StateVector) encodedSize() int {
+	n := len(svMagic) + 4
+	for _, c := range sv.Chains {
+		n += 4 + len(c.Name) + 4 + 4 + len(c.Data)
+	}
+	n += 4 + 8*len(sv.Memory)
+	n += 4
+	for _, iter := range sv.Env {
+		n += 4 + 4*len(iter)
+	}
+	n += 4
+	for _, tr := range sv.Trace {
+		n += 8 + 4 + 4 + len(tr.Disasm) + 4 + len(tr.Core)
+	}
+	return n
+}
+
 // StateVector is the logged system state of one experiment: the contents of
 // every observed scan chain, the workload's result memory, the environment
 // exchange history and, in detail mode, the per-instruction trace. It is
@@ -51,175 +70,194 @@ const (
 	svMaxList = 1 << 24
 )
 
-// Encode serialises the vector.
+// Encode serialises the vector with direct little-endian appends into one
+// exactly-sized buffer — no reflection, no intermediate writer.
 func (sv *StateVector) Encode() []byte {
-	var buf bytes.Buffer
-	buf.WriteString(svMagic)
-	writeU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	writeU64 := func(v uint64) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	writeStr := func(s string) {
-		writeU32(uint32(len(s)))
-		buf.WriteString(s)
-	}
-	writeBytes := func(b []byte) {
-		writeU32(uint32(len(b)))
-		buf.Write(b)
-	}
-
-	writeU32(uint32(len(sv.Chains)))
+	buf := make([]byte, 0, sv.encodedSize())
+	buf = append(buf, svMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sv.Chains)))
 	for _, c := range sv.Chains {
-		writeStr(c.Name)
-		writeU32(uint32(c.Bits))
-		writeBytes(c.Data)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Bits))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Data)))
+		buf = append(buf, c.Data...)
 	}
-	writeU32(uint32(len(sv.Memory)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sv.Memory)))
 	for _, m := range sv.Memory {
-		writeU32(m.Addr)
-		writeU32(m.Value)
+		buf = binary.LittleEndian.AppendUint32(buf, m.Addr)
+		buf = binary.LittleEndian.AppendUint32(buf, m.Value)
 	}
-	writeU32(uint32(len(sv.Env)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sv.Env)))
 	for _, iter := range sv.Env {
-		writeU32(uint32(len(iter)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(iter)))
 		for _, v := range iter {
-			writeU32(v)
+			buf = binary.LittleEndian.AppendUint32(buf, v)
 		}
 	}
-	writeU32(uint32(len(sv.Trace)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sv.Trace)))
 	for _, tr := range sv.Trace {
-		writeU64(tr.Cycle)
-		writeU32(tr.PC)
-		writeStr(tr.Disasm)
-		writeBytes(tr.Core)
+		buf = binary.LittleEndian.AppendUint64(buf, tr.Cycle)
+		buf = binary.LittleEndian.AppendUint32(buf, tr.PC)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tr.Disasm)))
+		buf = append(buf, tr.Disasm...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tr.Core)))
+		buf = append(buf, tr.Core...)
 	}
-	return buf.Bytes()
+	return buf
 }
 
-// DecodeStateVector inverts Encode.
+// svCursor walks an encoded state vector. Every read checks the remaining
+// length first, so a truncated input fails loudly instead of yielding
+// zero-filled garbage (the partial-read hazard of bytes.Reader.Read).
+type svCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *svCursor) take(n int) ([]byte, error) {
+	if n < 0 || len(c.data)-c.off < n {
+		return nil, fmt.Errorf("need %d bytes, %d left", n, len(c.data)-c.off)
+	}
+	b := c.data[c.off : c.off+n : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *svCursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *svCursor) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *svCursor) str() (string, error) {
+	n, err := c.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > svMaxStr {
+		return "", fmt.Errorf("string length %d too large", n)
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (c *svCursor) bytes() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > svMaxList {
+		return nil, fmt.Errorf("byte block length %d too large", n)
+	}
+	return c.take(int(n))
+}
+
+// DecodeStateVector inverts Encode. Byte blocks in the result alias the
+// input slice; callers must not mutate data afterwards.
 func DecodeStateVector(data []byte) (*StateVector, error) {
-	r := bytes.NewReader(data)
-	magic := make([]byte, 4)
-	if _, err := r.Read(magic); err != nil || string(magic) != svMagic {
+	c := &svCursor{data: data}
+	magic, err := c.take(4)
+	if err != nil || string(magic) != svMagic {
 		return nil, fmt.Errorf("core: state vector has bad magic")
 	}
-	readU32 := func() (uint32, error) {
-		var v uint32
-		err := binary.Read(r, binary.LittleEndian, &v)
-		return v, err
-	}
-	readU64 := func() (uint64, error) {
-		var v uint64
-		err := binary.Read(r, binary.LittleEndian, &v)
-		return v, err
-	}
-	readStr := func() (string, error) {
-		n, err := readU32()
-		if err != nil {
-			return "", err
-		}
-		if n > svMaxStr {
-			return "", fmt.Errorf("core: string length %d too large", n)
-		}
-		b := make([]byte, n)
-		if _, err := r.Read(b); err != nil && n > 0 {
-			return "", err
-		}
-		return string(b), nil
-	}
-	readBytes := func() ([]byte, error) {
-		n, err := readU32()
-		if err != nil {
-			return nil, err
-		}
-		if n > svMaxList {
-			return nil, fmt.Errorf("core: byte block length %d too large", n)
-		}
-		b := make([]byte, n)
-		if _, err := r.Read(b); err != nil && n > 0 {
-			return nil, err
-		}
-		return b, nil
-	}
 	fail := func(section string, err error) (*StateVector, error) {
+		if err == nil {
+			err = fmt.Errorf("count exceeds limit")
+		}
 		return nil, fmt.Errorf("core: decode state vector %s: %w", section, err)
 	}
 
 	sv := &StateVector{}
-	nChains, err := readU32()
+	nChains, err := c.u32()
 	if err != nil || nChains > svMaxList {
 		return fail("chain count", err)
 	}
 	for i := uint32(0); i < nChains; i++ {
-		name, err := readStr()
+		name, err := c.str()
 		if err != nil {
 			return fail("chain name", err)
 		}
-		bits, err := readU32()
+		bits, err := c.u32()
 		if err != nil {
 			return fail("chain bits", err)
 		}
-		data, err := readBytes()
+		data, err := c.bytes()
 		if err != nil {
 			return fail("chain data", err)
 		}
 		sv.Chains = append(sv.Chains, ChainState{Name: name, Bits: int(bits), Data: data})
 	}
-	nMem, err := readU32()
+	nMem, err := c.u32()
 	if err != nil || nMem > svMaxList {
 		return fail("memory count", err)
 	}
 	for i := uint32(0); i < nMem; i++ {
-		addr, err := readU32()
+		addr, err := c.u32()
 		if err != nil {
 			return fail("memory addr", err)
 		}
-		val, err := readU32()
+		val, err := c.u32()
 		if err != nil {
 			return fail("memory value", err)
 		}
 		sv.Memory = append(sv.Memory, MemWord{Addr: addr, Value: val})
 	}
-	nEnv, err := readU32()
+	nEnv, err := c.u32()
 	if err != nil || nEnv > svMaxList {
 		return fail("env count", err)
 	}
 	for i := uint32(0); i < nEnv; i++ {
-		n, err := readU32()
+		n, err := c.u32()
 		if err != nil || n > svMaxList {
 			return fail("env iteration", err)
 		}
 		iter := make([]uint32, n)
 		for j := range iter {
-			if iter[j], err = readU32(); err != nil {
+			if iter[j], err = c.u32(); err != nil {
 				return fail("env value", err)
 			}
 		}
 		sv.Env = append(sv.Env, iter)
 	}
-	nTrace, err := readU32()
+	nTrace, err := c.u32()
 	if err != nil || nTrace > svMaxList {
 		return fail("trace count", err)
 	}
 	for i := uint32(0); i < nTrace; i++ {
-		cycle, err := readU64()
+		cycle, err := c.u64()
 		if err != nil {
 			return fail("trace cycle", err)
 		}
-		pc, err := readU32()
+		pc, err := c.u32()
 		if err != nil {
 			return fail("trace pc", err)
 		}
-		dis, err := readStr()
+		dis, err := c.str()
 		if err != nil {
 			return fail("trace disasm", err)
 		}
-		coreBits, err := readBytes()
+		coreBits, err := c.bytes()
 		if err != nil {
 			return fail("trace core", err)
 		}
 		sv.Trace = append(sv.Trace, TraceSample{Cycle: cycle, PC: pc, Disasm: dis, Core: coreBits})
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("core: %d trailing bytes in state vector", r.Len())
+	if rest := len(c.data) - c.off; rest != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in state vector", rest)
 	}
 	return sv, nil
 }
@@ -280,13 +318,9 @@ func (sv *StateVector) DiffSummary(o *StateVector) string {
 			fmt.Fprintf(&sb, "chain %s shape differs; ", a.Name)
 			continue
 		}
-		ba, err1 := scan.Unpack(a.Data, a.Bits)
-		bb, err2 := scan.Unpack(b.Data, b.Bits)
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		if d := ba.Diff(bb); len(d) > 0 {
-			fmt.Fprintf(&sb, "chain %s: %d bit(s) differ; ", a.Name, len(d))
+		// Popcount the packed encodings directly — no unpacking needed.
+		if d := scan.PackedOnesCountDiff(a.Data, b.Data); d > 0 {
+			fmt.Fprintf(&sb, "chain %s: %d bit(s) differ; ", a.Name, d)
 		}
 	}
 	nm := 0
@@ -326,13 +360,30 @@ func (sv *StateVector) DiffSummary(o *StateVector) string {
 // the contents of all the locations in the target system that are
 // observable ... as well as the workload input and output values").
 func captureState(ops target.Operations, resultAddrs []uint32, trace []target.TraceEntry) (*StateVector, error) {
-	sv := &StateVector{}
-	for _, ci := range ops.Chains() {
+	chains := ops.Chains()
+	// All chain images (and trace samples) pack into one contiguous buffer:
+	// one allocation for the whole capture tail instead of one per chain.
+	packed := 0
+	for _, ci := range chains {
+		packed += (ci.Bits + 7) / 8
+	}
+	for _, te := range trace {
+		packed += (te.Core.Len() + 7) / 8
+	}
+	buf := make([]byte, 0, packed)
+
+	sv := &StateVector{Chains: make([]ChainState, 0, len(chains))}
+	for _, ci := range chains {
 		bits, err := ops.ReadScanChain(ci.Name)
 		if err != nil {
 			return nil, fmt.Errorf("capture state: %w", err)
 		}
-		sv.Chains = append(sv.Chains, ChainState{Name: ci.Name, Bits: bits.Len(), Data: bits.Pack()})
+		start := len(buf)
+		buf = bits.AppendPacked(buf)
+		sv.Chains = append(sv.Chains, ChainState{Name: ci.Name, Bits: bits.Len(), Data: buf[start:len(buf):len(buf)]})
+	}
+	if len(resultAddrs) > 0 {
+		sv.Memory = make([]MemWord, 0, len(resultAddrs))
 	}
 	for _, addr := range resultAddrs {
 		vals, err := ops.ReadMemory(addr, 1)
@@ -342,12 +393,17 @@ func captureState(ops target.Operations, resultAddrs []uint32, trace []target.Tr
 		sv.Memory = append(sv.Memory, MemWord{Addr: addr, Value: vals[0]})
 	}
 	sv.Env = ops.EnvHistory()
+	if len(trace) > 0 {
+		sv.Trace = make([]TraceSample, 0, len(trace))
+	}
 	for _, te := range trace {
+		start := len(buf)
+		buf = te.Core.AppendPacked(buf)
 		sv.Trace = append(sv.Trace, TraceSample{
 			Cycle:  te.Cycle,
 			PC:     te.PC,
 			Disasm: te.Disasm,
-			Core:   te.Core.Pack(),
+			Core:   buf[start:len(buf):len(buf)],
 		})
 	}
 	return sv, nil

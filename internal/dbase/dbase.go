@@ -437,6 +437,25 @@ func (s *Store) PutExperiments(rows []ExperimentRow) error {
 	return nil
 }
 
+// ExperimentNames returns the name of every logged experiment of a campaign
+// as a membership set. The campaign runner's resume logic consults this one
+// query instead of issuing a GetExperiment per planned experiment name —
+// experiment names are campaign-prefixed ("<campaign>/eNNNN"), so the
+// campaign-scoped listing answers exactly the same question.
+func (s *Store) ExperimentNames(campaign string) (map[string]bool, error) {
+	rows, err := s.db.Query(
+		"SELECT experimentName FROM LoggedSystemState WHERE campaignName = ?",
+		sqldb.Text(campaign))
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	out := make(map[string]bool, rows.Len())
+	for _, r := range rows.Data {
+		out[r[0].Text] = true
+	}
+	return out, nil
+}
+
 // GetExperiment fetches one logged experiment.
 func (s *Store) GetExperiment(name string) (ExperimentRow, error) {
 	rows, err := s.db.Query("SELECT * FROM LoggedSystemState WHERE experimentName = ?", sqldb.Text(name))

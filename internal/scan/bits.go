@@ -10,43 +10,100 @@
 package scan
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
-// Bits is a mutable bit vector. Index 0 is the bit closest to TDO, i.e. the
-// first bit shifted out of the chain.
-type Bits []bool
+// wordBits is the width of one storage word of a Bits vector.
+const wordBits = 64
+
+// Bits is a mutable bit vector stored as packed 64-bit words. Index 0 is the
+// bit closest to TDO, i.e. the first bit shifted out of the chain; bit i
+// lives in word i/64 at position i%64, so the byte layout of Pack — bit i in
+// byte i/8 at position i%8 — falls directly out of little-endian word
+// encoding and stays identical to the historical []bool encoding.
+//
+// Bits has reference semantics like a slice: copies share the underlying
+// words, Clone makes an independent vector. The zero value is an empty
+// vector. Tail bits beyond Len() in the last word are always zero — every
+// mutator maintains that invariant so Equal, Pack and OnesCount can work on
+// whole words without masking.
+type Bits struct {
+	n int
+	w []uint64
+}
 
 // NewBits returns an all-zero bit vector of length n.
-func NewBits(n int) Bits { return make(Bits, n) }
+func NewBits(n int) Bits { return Bits{n: n, w: make([]uint64, (n+wordBits-1)/wordBits)} }
 
 // Len returns the number of bits.
-func (b Bits) Len() int { return len(b) }
+func (b Bits) Len() int { return b.n }
+
+// Words exposes the packed storage words (bit i at word i/64, position
+// i%64). Callers must preserve the zero-tail invariant when mutating.
+func (b Bits) Words() []uint64 { return b.w }
+
+func (b Bits) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("scan: bit index %d out of range [0,%d)", i, b.n))
+	}
+}
 
 // Get returns bit i.
-func (b Bits) Get(i int) bool { return b[i] }
+func (b Bits) Get(i int) bool {
+	b.check(i)
+	return b.w[i/wordBits]>>(uint(i)%wordBits)&1 != 0
+}
 
 // Set assigns bit i.
-func (b Bits) Set(i int, v bool) { b[i] = v }
+func (b Bits) Set(i int, v bool) {
+	b.check(i)
+	mask := uint64(1) << (uint(i) % wordBits)
+	if v {
+		b.w[i/wordBits] |= mask
+	} else {
+		b.w[i/wordBits] &^= mask
+	}
+}
 
 // Flip inverts bit i — the transient bit-flip fault model's basic operation.
-func (b Bits) Flip(i int) { b[i] = !b[i] }
+func (b Bits) Flip(i int) {
+	b.check(i)
+	b.w[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
 
 // Clone returns an independent copy.
 func (b Bits) Clone() Bits {
-	c := make(Bits, len(b))
-	copy(c, b)
+	c := Bits{n: b.n, w: make([]uint64, len(b.w))}
+	copy(c.w, b.w)
 	return c
 }
 
+// CopyFrom overwrites b with the contents of o. The lengths must match.
+func (b Bits) CopyFrom(o Bits) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("scan: copy of %d bits into vector of %d", o.n, b.n))
+	}
+	copy(b.w, o.w)
+}
+
+// Zero clears every bit.
+func (b Bits) Zero() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+}
+
 // Equal reports whether two vectors have identical length and contents.
+// Thanks to the zero-tail invariant this is a whole-word comparison.
 func (b Bits) Equal(o Bits) bool {
-	if len(b) != len(o) {
+	if b.n != o.n {
 		return false
 	}
-	for i := range b {
-		if b[i] != o[i] {
+	for i, w := range b.w {
+		if w != o.w[i] {
 			return false
 		}
 	}
@@ -55,87 +112,186 @@ func (b Bits) Equal(o Bits) bool {
 
 // Diff returns the indices at which b and o differ. Vectors of different
 // lengths additionally differ at every position beyond the shorter one.
+// Matching words are skipped wholesale; differing ones are walked one set
+// bit of the XOR at a time.
 func (b Bits) Diff(o Bits) []int {
 	var out []int
-	n := len(b)
-	if len(o) < n {
-		n = len(o)
+	short, long := b, o
+	if o.n < b.n {
+		short, long = o, b
 	}
-	for i := 0; i < n; i++ {
-		if b[i] != o[i] {
-			out = append(out, i)
+	nw := len(short.w)
+	for wi := 0; wi < nw; wi++ {
+		x := short.w[wi] ^ long.w[wi]
+		if wi == nw-1 {
+			// Compare only the bits both vectors have; the overhang is
+			// appended below as pure length difference.
+			if r := short.n % wordBits; r != 0 {
+				x &= 1<<uint(r) - 1
+			}
+		}
+		for x != 0 {
+			out = append(out, wi*wordBits+bits.TrailingZeros64(x))
+			x &= x - 1
 		}
 	}
-	for i := n; i < len(b) || i < len(o); i++ {
+	for i := short.n; i < long.n; i++ {
 		out = append(out, i)
 	}
 	return out
 }
 
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // Uint64 reads width bits starting at offset as a little-endian integer
-// (bit offset holds the least significant bit).
+// (bit offset holds the least significant bit). The window may span two
+// storage words.
 func (b Bits) Uint64(offset, width int) uint64 {
-	var v uint64
-	for i := 0; i < width; i++ {
-		if b[offset+i] {
-			v |= 1 << uint(i)
-		}
+	if width < 0 || width > wordBits || offset < 0 || offset+width > b.n {
+		panic(fmt.Sprintf("scan: read of %d bits at offset %d from vector of %d", width, offset, b.n))
+	}
+	if width == 0 {
+		return 0
+	}
+	wi, sh := offset/wordBits, uint(offset)%wordBits
+	v := b.w[wi] >> sh
+	if sh+uint(width) > wordBits {
+		v |= b.w[wi+1] << (wordBits - sh)
+	}
+	if width < wordBits {
+		v &= 1<<uint(width) - 1
 	}
 	return v
 }
 
 // PutUint64 writes width bits of v starting at offset.
 func (b Bits) PutUint64(offset, width int, v uint64) {
-	for i := 0; i < width; i++ {
-		b[offset+i] = v&(1<<uint(i)) != 0
+	if width < 0 || width > wordBits || offset < 0 || offset+width > b.n {
+		panic(fmt.Sprintf("scan: write of %d bits at offset %d into vector of %d", width, offset, b.n))
+	}
+	if width == 0 {
+		return
+	}
+	if width < wordBits {
+		v &= 1<<uint(width) - 1
+	}
+	wi, sh := offset/wordBits, uint(offset)%wordBits
+	var mask uint64 = ^uint64(0)
+	if width < wordBits {
+		mask = 1<<uint(width) - 1
+	}
+	b.w[wi] = b.w[wi]&^(mask<<sh) | v<<sh
+	if sh+uint(width) > wordBits {
+		rem := wordBits - sh
+		b.w[wi+1] = b.w[wi+1]&^(mask>>rem) | v>>rem
 	}
 }
 
+// shiftOut performs one shift-register step at word granularity: it removes
+// and returns bit 0, moves every bit down one position and inserts tdi as
+// the new bit n-1 — the TAP's Shift-DR action for a single TCK.
+func (b Bits) shiftOut(tdi bool) (tdo bool) {
+	if b.n == 0 {
+		return false
+	}
+	tdo = b.w[0]&1 != 0
+	last := len(b.w) - 1
+	for i := 0; i < last; i++ {
+		b.w[i] = b.w[i]>>1 | b.w[i+1]<<(wordBits-1)
+	}
+	b.w[last] >>= 1
+	if tdi {
+		i := b.n - 1
+		b.w[i/wordBits] |= 1 << (uint(i) % wordBits)
+	}
+	return tdo
+}
+
 // Pack serialises the vector into bytes (little-endian bit order), the form
-// stored in the LoggedSystemState.stateVector column.
+// stored in the LoggedSystemState.stateVector column. The output is
+// byte-identical to the historical per-bit encoding.
 func (b Bits) Pack() []byte {
-	out := make([]byte, (len(b)+7)/8)
-	for i, bit := range b {
-		if bit {
-			out[i/8] |= 1 << uint(i%8)
+	return b.AppendPacked(make([]byte, 0, (b.n+7)/8))
+}
+
+// AppendPacked appends the Pack encoding to dst and returns the extended
+// slice — the allocation-free path for callers that reuse a capture buffer.
+func (b Bits) AppendPacked(dst []byte) []byte {
+	nb := (b.n + 7) / 8
+	full := nb / 8 // words encoded as complete 8-byte groups
+	for i := 0; i < full; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, b.w[i])
+	}
+	if rem := nb - full*8; rem > 0 {
+		w := b.w[full]
+		for i := 0; i < rem; i++ {
+			dst = append(dst, byte(w>>(8*uint(i))))
 		}
 	}
-	return out
+	return dst
 }
 
 // Unpack rebuilds a vector of length n from Pack output.
 func Unpack(data []byte, n int) (Bits, error) {
 	if need := (n + 7) / 8; len(data) != need {
-		return nil, fmt.Errorf("scan: unpack %d bits needs %d bytes, got %d", n, need, len(data))
+		return Bits{}, fmt.Errorf("scan: unpack %d bits needs %d bytes, got %d", n, need, len(data))
 	}
 	b := NewBits(n)
-	for i := 0; i < n; i++ {
-		b[i] = data[i/8]&(1<<uint(i%8)) != 0
+	full := len(data) / 8
+	for i := 0; i < full; i++ {
+		b.w[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	if rem := len(data) - full*8; rem > 0 {
+		var w uint64
+		for i := 0; i < rem; i++ {
+			w |= uint64(data[full*8+i]) << (8 * uint(i))
+		}
+		b.w[full] = w
+	}
+	// Mask the tail: Pack tolerates junk in the final byte's unused bits but
+	// the in-memory invariant requires them zero.
+	if r := n % wordBits; r != 0 && len(b.w) > 0 {
+		b.w[len(b.w)-1] &= 1<<uint(r) - 1
 	}
 	return b, nil
+}
+
+// PackedOnesCountDiff counts the bit positions at which two Pack encodings
+// differ, comparing eight bytes per step. Analysis code uses it to diff
+// logged chain images without unpacking them.
+func PackedOnesCountDiff(a, b []byte) int {
+	n := 0
+	for len(a) >= 8 && len(b) >= 8 {
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(a) ^ binary.LittleEndian.Uint64(b))
+		a, b = a[8:], b[8:]
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
 }
 
 // String renders the vector as a 0/1 string, bit 0 first, for debugging.
 func (b Bits) String() string {
 	var sb strings.Builder
-	sb.Grow(len(b))
-	for _, bit := range b {
-		if bit {
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
 			sb.WriteByte('1')
 		} else {
 			sb.WriteByte('0')
 		}
 	}
 	return sb.String()
-}
-
-// OnesCount returns the number of set bits.
-func (b Bits) OnesCount() int {
-	n := 0
-	for _, bit := range b {
-		if bit {
-			n++
-		}
-	}
-	return n
 }

@@ -75,10 +75,20 @@ func (c *Chain) Fields() []Field { return append([]Field(nil), c.fields...) }
 // action).
 func (c *Chain) Capture() Bits {
 	b := NewBits(c.length)
+	c.CaptureInto(b)
+	return b
+}
+
+// CaptureInto reads every field into an existing vector of the chain's
+// length — the allocation-free capture path. Each field lands with one or
+// two word-level writes; no per-bit work happens.
+func (c *Chain) CaptureInto(b Bits) {
+	if b.Len() != c.length {
+		panic(fmt.Sprintf("scan: chain %s: capture into %d bits, chain has %d", c.name, b.Len(), c.length))
+	}
 	for i, f := range c.fields {
 		b.PutUint64(c.offsets[i], f.Width, f.Get())
 	}
-	return b
 }
 
 // Update drives the bit vector back into the device (the TAP's Update-DR

@@ -519,20 +519,20 @@ func TestShiftThroughPauseDR(t *testing.T) {
 	// First burst: bits 0..half-1. Per the standard, the clock that exits
 	// Shift-DR still shifts, so the burst's last bit rides the TMS=1 edge.
 	for k := 0; k < half-1; k++ {
-		tap.Clock(false, in[k])
+		tap.Clock(false, in.Get(k))
 	}
-	tap.Clock(true, in[half-1]) // -> Exit1-DR, shifting the half-1 bit
-	tap.Clock(false, false)     // Pause-DR (no shift)
-	tap.Clock(false, false)     // stay paused a cycle
-	tap.Clock(true, false)      // Exit2-DR
-	tap.Clock(false, false)     // re-enter Shift-DR (no shift on entry)
+	tap.Clock(true, in.Get(half-1)) // -> Exit1-DR, shifting the half-1 bit
+	tap.Clock(false, false)         // Pause-DR (no shift)
+	tap.Clock(false, false)         // stay paused a cycle
+	tap.Clock(true, false)          // Exit2-DR
+	tap.Clock(false, false)         // re-enter Shift-DR (no shift on entry)
 	// Second burst: bits half..n-1, last one on the exit edge again.
 	for k := half; k < n-1; k++ {
-		tap.Clock(false, in[k])
+		tap.Clock(false, in.Get(k))
 	}
-	tap.Clock(true, in[n-1]) // -> Exit1-DR
-	tap.Clock(true, false)   // Update-DR
-	tap.Clock(false, false)  // Idle
+	tap.Clock(true, in.Get(n-1)) // -> Exit1-DR
+	tap.Clock(true, false)       // Update-DR
+	tap.Clock(false, false)      // Idle
 
 	if d.regA != 0x0BADF00D || d.regB != 0x4321 || !d.flag {
 		t.Fatalf("device after paused shift: A=%#x B=%#x flag=%v", d.regA, d.regB, d.flag)

@@ -26,6 +26,8 @@ const (
 	StatePauseIR
 	StateExit2IR
 	StateUpdateIR
+
+	numTAPStates = int(StateUpdateIR) + 1
 )
 
 var tapStateNames = map[TAPState]string{
@@ -55,8 +57,9 @@ func (s TAPState) String() string {
 	return fmt.Sprintf("TAPState(%d)", int(s))
 }
 
-// tapNext encodes the 1149.1 state transition table: next[state][tms].
-var tapNext = map[TAPState][2]TAPState{
+// tapNext encodes the 1149.1 state transition table as a dense array indexed
+// by [state][tms] — the hot lookup of every TCK, so no map hashing here.
+var tapNext = [numTAPStates][2]TAPState{
 	StateTestLogicReset: {StateRunTestIdle, StateTestLogicReset},
 	StateRunTestIdle:    {StateRunTestIdle, StateSelectDRScan},
 	StateSelectDRScan:   {StateCaptureDR, StateSelectIRScan},
@@ -157,46 +160,32 @@ func (t *TAP) selected() *Chain {
 // values and returns TDO.
 func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
 	t.clocks++
-	// TDO reflects the shift stage output of the current state.
+	// TDO reflects the shift stage output of the current state; in Shift-DR
+	// the shift itself happens at word granularity inside Bits.shiftOut.
 	switch t.state {
 	case StateShiftIR:
 		tdo = t.irShift&1 != 0
-	case StateShiftDR:
-		if ch := t.selected(); ch != nil {
-			if len(t.drShift) > 0 {
-				tdo = t.drShift[0]
-			}
-		} else {
-			tdo = t.bypass
-		}
-	}
-
-	next := tapNext[t.state]
-	var idx int
-	if tms {
-		idx = 1
-	}
-	newState := next[idx]
-
-	// Perform the action of the state being entered / the shift of the
-	// current state, per the standard's TCK-rising semantics.
-	switch t.state {
-	case StateShiftIR:
 		t.irShift >>= 1
 		if tdi {
 			t.irShift |= 1 << (irWidth - 1)
 		}
 	case StateShiftDR:
 		if ch := t.selected(); ch != nil {
-			copy(t.drShift, t.drShift[1:])
-			if n := len(t.drShift); n > 0 {
-				t.drShift[n-1] = tdi
-			}
+			tdo = t.drShift.shiftOut(tdi)
 		} else {
+			tdo = t.bypass
 			t.bypass = tdi
 		}
 	}
 
+	var idx int
+	if tms {
+		idx = 1
+	}
+	newState := tapNext[t.state][idx]
+
+	// Perform the action of the state being entered, per the standard's
+	// TCK-rising semantics.
 	switch newState {
 	case StateTestLogicReset:
 		t.ir = irBypass
@@ -207,8 +196,7 @@ func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
 		t.ir = t.irShift
 	case StateCaptureDR:
 		if ch := t.selected(); ch != nil {
-			t.drShift = ch.Capture()
-			t.captured = true
+			t.captureDR(ch)
 		} else {
 			t.bypass = false
 		}
@@ -220,6 +208,18 @@ func (t *TAP) Clock(tms, tdi bool) (tdo bool) {
 	}
 	t.state = newState
 	return tdo
+}
+
+// captureDR fills the DR shift stage from the chain, reusing the stage's
+// words when the selected chain has not changed length since the last
+// capture — the steady state of a campaign hammering one chain.
+func (t *TAP) captureDR(ch *Chain) {
+	if t.drShift.Len() == ch.Length() {
+		ch.CaptureInto(t.drShift)
+	} else {
+		t.drShift = ch.Capture()
+	}
+	t.captured = true
 }
 
 // --- Host-side driver built purely on Clock ---
@@ -247,6 +247,11 @@ func (t *TAP) SelectChain(name string) error {
 	if !found {
 		return fmt.Errorf("scan: no chain named %q", name)
 	}
+	if t.state == StateRunTestIdle && t.ir == code {
+		// Already committed: re-shifting the identical IR code is a no-op on
+		// the device, so the host skips the walk entirely.
+		return nil
+	}
 	// Run-Test/Idle -> Select-DR -> Select-IR -> Capture-IR.
 	t.Clock(true, false)
 	t.Clock(true, false)
@@ -268,38 +273,38 @@ func (t *TAP) SelectChain(name string) error {
 // device state, shifts `in` through the chain (in[i] lands on chain bit i)
 // while collecting the outgoing bits, and optionally commits with Update-DR.
 // The returned vector is the captured device state, bit i = chain bit i.
+//
+// The n Shift-DR clocks are applied as a bulk word-level transfer rather
+// than n Clock calls: after n shifts the stage provably holds exactly `in`
+// (or, for reads, the restored capture) and the TDO stream is exactly the
+// captured vector, so the fast path copies whole words and advances the TCK
+// counter by n. The controller still walks Capture-DR, Shift-DR, Exit1-DR
+// and Update-DR, so state-machine observers and TCK accounting see the same
+// sequence as a per-bit drive.
 func (t *TAP) shiftDR(in Bits, update bool) (Bits, error) {
 	ch := t.selected()
 	if ch == nil {
-		return nil, fmt.Errorf("scan: no chain selected (IR=%#02x)", t.ir)
+		return Bits{}, fmt.Errorf("scan: no chain selected (IR=%#02x)", t.ir)
 	}
 	n := ch.Length()
-	if in != nil && in.Len() != n {
-		return nil, fmt.Errorf("scan: shift of %d bits into chain %s of length %d", in.Len(), ch.Name(), n)
+	if in.Words() != nil && in.Len() != n {
+		return Bits{}, fmt.Errorf("scan: shift of %d bits into chain %s of length %d", in.Len(), ch.Name(), n)
 	}
-	out := NewBits(n)
 	// Run-Test/Idle -> Select-DR -> Capture-DR -> Shift-DR.
 	t.Clock(true, false)
 	t.Clock(false, false)
 	t.Clock(false, false)
-	// Shift n bits. Chain bit 0 exits first, and after n clocks the bit
-	// presented at clock k rests at chain position k, so the vector is
-	// presented in order. TMS rises on the final bit to exit to Exit1-DR.
-	for k := 0; k < n; k++ {
-		var tdi bool
-		if in != nil {
-			tdi = in[k]
-		}
-		tms := k == n-1
-		out[k] = t.Clock(tms, tdi)
+	// Bulk Shift-DR: n TCKs, TMS rising on the final one (-> Exit1-DR).
+	out := t.drShift.Clone()
+	if update {
+		t.drShift.CopyFrom(in)
 	}
-	if !update {
-		// The standard offers no Update-free exit from Exit1-DR; a real
-		// driver makes reads non-destructive by shifting the captured
-		// stream back in on a second pass. Model that second pass by
-		// restoring the shift stage before passing through Update-DR.
-		t.drShift = out.Clone()
-	}
+	// A read leaves the captured value in the stage: the standard offers no
+	// Update-free exit from Exit1-DR, and a real driver makes reads
+	// non-destructive by shifting the captured stream back in on a second
+	// pass. The bulk transfer models both passes at once.
+	t.clocks += uint64(n)
+	t.state = StateExit1DR
 	t.Clock(true, false)  // Exit1-DR -> Update-DR
 	t.Clock(false, false) // -> Run-Test/Idle
 	return out, nil
@@ -308,11 +313,14 @@ func (t *TAP) shiftDR(in Bits, update bool) (Bits, error) {
 // ReadChain captures and returns the selected chain's contents, restoring
 // the captured value on update so the device state is unchanged.
 func (t *TAP) ReadChain() (Bits, error) {
-	return t.shiftDR(nil, false)
+	return t.shiftDR(Bits{}, false)
 }
 
 // WriteChain shifts the vector into the selected chain and commits it.
 // It returns the previous contents.
 func (t *TAP) WriteChain(b Bits) (Bits, error) {
+	if b.Words() == nil {
+		return Bits{}, fmt.Errorf("scan: write of a nil vector")
+	}
 	return t.shiftDR(b, true)
 }

@@ -37,7 +37,7 @@ func (BaseTarget) SetBreakpoint(uint64) error { return ErrNotImplemented }
 func (BaseTarget) WaitForBreakpoint(uint64) (bool, error) { return false, ErrNotImplemented }
 
 // ReadScanChain is not implemented by the framework default.
-func (BaseTarget) ReadScanChain(string) (scan.Bits, error) { return nil, ErrNotImplemented }
+func (BaseTarget) ReadScanChain(string) (scan.Bits, error) { return scan.Bits{}, ErrNotImplemented }
 
 // WriteScanChain is not implemented by the framework default.
 func (BaseTarget) WriteScanChain(string, scan.Bits) error { return ErrNotImplemented }

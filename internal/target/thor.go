@@ -312,10 +312,10 @@ func (t *ThorTarget) termination(reason Reason, mech string) Termination {
 // ReadScanChain shifts a chain image out through the TAP.
 func (t *ThorTarget) ReadScanChain(chain string) (scan.Bits, error) {
 	if t.tap == nil {
-		return nil, errNotInitialised
+		return scan.Bits{}, errNotInitialised
 	}
 	if err := t.tap.SelectChain(chain); err != nil {
-		return nil, err
+		return scan.Bits{}, err
 	}
 	return t.tap.ReadChain()
 }

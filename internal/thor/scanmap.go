@@ -68,6 +68,11 @@ func BuildTAP(s *System) (*scan.TAP, error) {
 	return scan.NewTAP(chains)
 }
 
+// The field builders below are the word-granular bridge between device
+// state and the packed scan.Bits representation: every field reads and
+// writes its whole window as one uint64, so a chain capture or update is a
+// handful of word-level PutUint64/Uint64 calls, never per-bit work.
+
 // reg32 builds a writable 32-bit field over a word of state.
 func reg32(name string, p *uint32) scan.Field {
 	return scan.Field{
@@ -75,6 +80,26 @@ func reg32(name string, p *uint32) scan.Field {
 		Width: 32,
 		Get:   func() uint64 { return uint64(*p) },
 		Set:   func(v uint64) { *p = uint32(v) },
+	}
+}
+
+// reg64 builds a writable 64-bit field over a doubleword of state.
+func reg64(name string, p *uint64) scan.Field {
+	return scan.Field{
+		Name:  name,
+		Width: 64,
+		Get:   func() uint64 { return *p },
+		Set:   func(v uint64) { *p = v },
+	}
+}
+
+// flag builds a writable single-bit field over a boolean latch.
+func flag(name string, p *bool) scan.Field {
+	return scan.Field{
+		Name:  name,
+		Width: 1,
+		Get:   func() uint64 { return b2u(*p) },
+		Set:   func(v uint64) { *p = v&1 != 0 },
 	}
 }
 
@@ -123,12 +148,7 @@ func cacheChain(name string, c *CPU, ca *Cache) (*scan.Chain, error) {
 	for i := range ca.lines {
 		ln := &ca.lines[i]
 		fields = append(fields,
-			scan.Field{
-				Name:  fmt.Sprintf("line%d.valid", i),
-				Width: 1,
-				Get:   func() uint64 { return b2u(ln.valid) },
-				Set:   func(v uint64) { ln.valid = v&1 != 0 },
-			},
+			flag(fmt.Sprintf("line%d.valid", i), &ln.valid),
 			scan.Field{
 				Name:  fmt.Sprintf("line%d.tag", i),
 				Width: tw,
@@ -160,30 +180,10 @@ func debugChain(s *System) (*scan.Chain, error) {
 	c := s.CPU
 	fields := []scan.Field{
 		reg32("bp_addr", &d.BPAddr),
-		{
-			Name:  "bp_addr_en",
-			Width: 1,
-			Get:   func() uint64 { return b2u(d.BPAddrEnable) },
-			Set:   func(v uint64) { d.BPAddrEnable = v&1 != 0 },
-		},
-		{
-			Name:  "bp_cycle",
-			Width: 64,
-			Get:   func() uint64 { return d.BPCycle },
-			Set:   func(v uint64) { d.BPCycle = v },
-		},
-		{
-			Name:  "bp_cycle_en",
-			Width: 1,
-			Get:   func() uint64 { return b2u(d.BPCycleEnable) },
-			Set:   func(v uint64) { d.BPCycleEnable = v&1 != 0 },
-		},
-		{
-			Name:  "bp_hit",
-			Width: 1,
-			Get:   func() uint64 { return b2u(d.Hit) },
-			Set:   func(v uint64) { d.Hit = v&1 != 0 },
-		},
+		flag("bp_addr_en", &d.BPAddrEnable),
+		reg64("bp_cycle", &d.BPCycle),
+		flag("bp_cycle_en", &d.BPCycleEnable),
+		flag("bp_hit", &d.Hit),
 		ro64("cycles", 64, func() uint64 { return c.cycles }),
 		ro64("iterations", 64, func() uint64 { return c.iters }),
 		ro64("status", 2, func() uint64 { return uint64(c.status) }),
