@@ -22,11 +22,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The worker-pool campaign engine lives in internal/core and the packed
-# bitset + TAP fast path in internal/scan; run both under the race
-# detector on every change.
+# The worker-pool campaign engine lives in internal/core, the packed
+# bitset + TAP fast path in internal/scan, and the chaos/retry taxonomy in
+# internal/target; run all three under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. Capture before/after and compare:

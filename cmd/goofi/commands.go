@@ -3,12 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"goofi"
 	"goofi/internal/faultmodel"
@@ -127,13 +129,18 @@ func cmdSetup(args []string) error {
 
 // cmdRun implements the fault-injection phase (§3.3) with the progress
 // output of Fig. 7. SIGINT ends the campaign cleanly after the in-flight
-// experiment.
+// experiment. The fault-tolerance flags (-retries, -retry-backoff, -timeout)
+// and the -chaos target wrapper exercise the engine's robustness layer.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	dbPath := fs.String("db", "", "campaign database file")
 	name := fs.String("campaign", "", "campaign name")
 	quiet := fs.Bool("quiet", false, "suppress per-experiment progress")
 	workers := fs.Int("workers", 1, "parallel workers, each on its own target instance (1 = sequential)")
+	retries := fs.Int("retries", 0, "retries per experiment after transient target faults")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base delay between retries, doubling per attempt")
+	timeout := fs.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = cycle budget only)")
+	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,12 +160,37 @@ func cmdRun(args []string) error {
 		return err
 	}
 	c.Workers = *workers
-	ops := goofi.NewThorTarget()
+	c.RetryLimit = *retries
+	c.RetryBackoff = *retryBackoff
+	c.ExperimentTimeout = *timeout
+	var ops goofi.TargetOperations = goofi.NewThorTarget()
+	factory := goofi.ThorTargetFactory()
+	if *chaos != "" {
+		cfg, err := goofi.ParseFlakyConfig(*chaos)
+		if err != nil {
+			return err
+		}
+		ops = goofi.NewFlakyTarget(ops, cfg)
+		factory = goofi.FlakyTargetFactory(factory, cfg)
+		// A chaos run needs the robustness layer armed or it would just
+		// crash/wedge: default to a retry budget, and to a watchdog when the
+		// chaos includes hangs.
+		if *retries == 0 {
+			c.RetryLimit = 3
+		}
+		if cfg.HangRate > 0 && *timeout <= 0 {
+			c.ExperimentTimeout = 30 * time.Second
+		}
+	}
 	r := goofi.NewRunner(ops, db, c)
-	r.Factory = goofi.ThorTargetFactory()
+	r.Factory = factory
 	if !*quiet {
 		r.OnProgress = func(p goofi.Progress) {
-			fmt.Printf("\r[%-40s] %d/%d  %-40s", bar(p.Done, p.Total, 40), p.Done, p.Total, p.LastOutcome)
+			extra := ""
+			if p.Retries > 0 || p.Hangs > 0 || p.Quarantined > 0 {
+				extra = fmt.Sprintf("  [retries=%d hangs=%d quarantined=%d]", p.Retries, p.Hangs, p.Quarantined)
+			}
+			fmt.Printf("\r[%-40s] %d/%d  %-40s%s", bar(p.Done, p.Total, 40), p.Done, p.Total, p.LastOutcome, extra)
 			if p.Done == p.Total {
 				fmt.Println()
 			}
@@ -174,11 +206,24 @@ func cmdRun(args []string) error {
 		if saveErr := db.Save(); saveErr != nil {
 			return saveErr
 		}
+		if errors.Is(err, goofi.ErrStopped) {
+			done := sum.Skipped + sum.Completed
+			fmt.Printf("campaign %q stopped at %d/%d experiments; re-run the same command to resume\n",
+				sum.Campaign, done, c.NExperiments)
+		}
 		return err
 	}
-	fmt.Printf("campaign %q complete: %d experiments\n", sum.Campaign, sum.Completed)
+	fmt.Printf("campaign %q complete: %d experiments", sum.Campaign, sum.Completed)
+	if sum.Skipped > 0 {
+		fmt.Printf(" (+%d resumed)", sum.Skipped)
+	}
+	fmt.Println()
 	for reason, count := range sum.Terminations {
 		fmt.Printf("  %-14s %d\n", reason+":", count)
+	}
+	if sum.Retries > 0 || sum.Hangs > 0 || sum.Quarantined > 0 {
+		fmt.Printf("  fault tolerance: %d retries, %d hangs, %d targets quarantined\n",
+			sum.Retries, sum.Hangs, sum.Quarantined)
 	}
 	return db.Save()
 }

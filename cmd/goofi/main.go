@@ -71,6 +71,7 @@ Usage:
                   [-tmin C] [-tmax C] [-trigger SPEC] [-detail] [-notes TEXT]
   goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
   goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
+                  [-retries N] [-retry-backoff D] [-timeout D] [-chaos SPEC]
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
   goofi trace     -db FILE -campaign NAME -experiment NAME
   goofi show      -db FILE -experiment NAME
@@ -85,5 +86,7 @@ Techniques:  scifi, scifi-checkpoint, swifi-pre, swifi-runtime, pin-level,
 Models:      transient | transient-multiple,m=K |
              intermittent,burst=K,spacing=C | permanent,period=C,stuck=V
 Locations:   chain:<name>[/<field>] and mem:<lo>-<hi>, comma separated
+Chaos spec:  err=P,panic=P,hang=P[,seed=S][,hangdur=D] — wraps the target in a
+             seeded transient-fault injector to exercise retry/quarantine/watchdog
 `)
 }

@@ -143,6 +143,43 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLIChaosRun drives the fault-tolerance flags end to end: a chaos-
+// wrapped campaign with nonzero error/panic/hang rates must run to
+// completion, log every experiment, and classify cleanly afterwards.
+func TestCLIChaosRun(t *testing.T) {
+	db := dbPath(t)
+	if err := run([]string{"configure", "-db", db}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"setup", "-db", db,
+		"-campaign", "chaos", "-workload", "bubblesort",
+		"-technique", "scifi", "-locations", "chain:internal.core",
+		"-n", "6", "-seed", "2", "-tmin", "10", "-tmax", "1400"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-db", db, "-campaign", "chaos", "-quiet",
+		"-retries", "10", "-retry-backoff", "200us", "-timeout", "500ms",
+		"-chaos", "err=0.01,panic=0.003,hang=0.002,seed=5"}); err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if err := run([]string{"analyze", "-db", db, "-campaign", "chaos"}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	store, err := goofi.OpenDatabase(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := store.Experiments("chaos")
+	if err != nil || len(exps) != 7 {
+		t.Fatalf("experiments = %d, %v", len(exps), err)
+	}
+	// A malformed chaos spec is rejected before anything runs.
+	if err := run([]string{"run", "-db", db, "-campaign", "chaos", "-quiet",
+		"-chaos", "bogus=1"}); err == nil {
+		t.Fatal("bad chaos spec should fail")
+	}
+}
+
 func TestCLIDuplicateCampaignRejected(t *testing.T) {
 	db := dbPath(t)
 	if err := run([]string{"configure", "-db", db}); err != nil {

@@ -327,3 +327,54 @@ const (
 	TerminTimeout     = target.TerminTimeout
 	TerminIterations  = target.TerminIterations
 )
+
+// Engine-synthesised termination reasons of the fault-tolerance layer.
+const (
+	// TermHang marks an experiment the wall-clock watchdog gave up on.
+	TermHang = core.TermHang
+	// TermFailed marks an experiment lost to transient target faults after
+	// the retry budget was exhausted.
+	TermFailed = core.TermFailed
+)
+
+// ErrStopped is returned by campaign execution ended through Stop or context
+// cancellation; the campaign resumes from its logged experiments on re-run.
+var ErrStopped = core.ErrStopped
+
+// ErrTransient classifies retryable target faults; wrap errors with
+// TransientError to make a custom target's glitches retryable.
+var ErrTransient = target.ErrTransient
+
+// TransientError marks err as a transient, retryable target fault.
+func TransientError(err error) error { return target.Transient(err) }
+
+// IsTransientError reports whether err is a transient target fault.
+func IsTransientError(err error) bool { return target.IsTransient(err) }
+
+// Chaos testing: the Flaky wrapper injects seeded transient faults into any
+// target's scan/memory surface, exercising the campaign engine's retry,
+// quarantine and watchdog machinery.
+type (
+	// FlakyConfig configures injected error/panic/hang rates.
+	FlakyConfig = target.FlakyConfig
+	// FlakyTarget wraps a target with seeded chaos injection.
+	FlakyTarget = target.Flaky
+	// FlakyCounts reports how many faults a FlakyTarget injected.
+	FlakyCounts = target.FlakyCounts
+)
+
+// NewFlakyTarget wraps ops with seeded chaos injection.
+func NewFlakyTarget(ops TargetOperations, cfg FlakyConfig) *FlakyTarget {
+	return target.NewFlaky(ops, cfg)
+}
+
+// FlakyTargetFactory wraps every target a factory mints with chaos injection.
+func FlakyTargetFactory(inner TargetFactory, cfg FlakyConfig) TargetFactory {
+	return target.FlakyFactory(inner, cfg)
+}
+
+// ParseFlakyConfig parses a chaos spec like
+// "err=0.02,panic=0.005,hang=0.01,seed=3,hangdur=5s".
+func ParseFlakyConfig(spec string) (FlakyConfig, error) {
+	return target.ParseFlakyConfig(spec)
+}

@@ -54,6 +54,9 @@ type Report struct {
 	Counts map[string]int `json:"outcomes"`
 	// PerMechanism breaks down detected errors by EDM.
 	PerMechanism map[string]int `json:"perMechanism"`
+	// Failed counts experiments lost to tool-level target failures ("failed"
+	// rows); they are excluded from the outcome taxonomy and from Total.
+	Failed int `json:"failed"`
 	// Effective = Detected + Escaped; NonEffective = Latent + Overwritten.
 	Effective    int `json:"effective"`
 	NonEffective int `json:"nonEffective"`
@@ -87,6 +90,13 @@ func Classify(store *dbase.Store, campaign string) (Report, error) {
 	for _, e := range exps {
 		if e.ExperimentName == ref.ExperimentName || e.ParentExperiment != "" {
 			continue // skip the reference run and detail reruns
+		}
+		if e.TerminationReason == core.TermFailed {
+			// A "failed" row records a tool-level loss (the target glitched
+			// through the whole retry budget), not a target outcome: it
+			// carries no state vector worth classifying.
+			rep.Failed++
+			continue
 		}
 		outcome, mech, err := classifyOne(refSV, ref.TerminationReason, e)
 		if err != nil {
@@ -122,8 +132,11 @@ func classifyOne(refSV *core.StateVector, refReason string, e dbase.ExperimentRo
 		return OutcomeDetected, e.Mechanism, nil
 	}
 	// A timeout that the reference run did not exhibit is a timeliness
-	// violation that escaped every detection mechanism.
-	if e.TerminationReason == target.TerminTimeout.String() && refReason != e.TerminationReason {
+	// violation that escaped every detection mechanism. A watchdog hang is
+	// the same violation in its most extreme form: the system wedged without
+	// any mechanism firing.
+	if e.TerminationReason == core.TermHang ||
+		(e.TerminationReason == target.TerminTimeout.String() && refReason != e.TerminationReason) {
 		return OutcomeEscaped, "", nil
 	}
 	sv, err := core.DecodeStateVector(e.StateVector)
@@ -178,6 +191,9 @@ func (r Report) String() string {
 	if r.Effective > 0 {
 		fmt.Fprintf(&sb, "  Error detection coverage: %.1f%% (95%% CI %.1f%%–%.1f%%)\n",
 			100*r.Coverage, 100*r.CI.Lo, 100*r.CI.Hi)
+	}
+	if r.Failed > 0 {
+		fmt.Fprintf(&sb, "  Failed experiments (excluded): %d\n", r.Failed)
 	}
 	return sb.String()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"goofi/internal/dbase"
 	"goofi/internal/faultmodel"
@@ -53,6 +54,23 @@ type Campaign struct {
 	// persisted in the CampaignData row — the logged result of a campaign is
 	// identical at any worker count.
 	Workers int
+	// RetryLimit bounds how often one experiment is retried after a transient
+	// target fault (target.IsTransient) before it is recorded as failed. The
+	// target is fully re-initialised between attempts. Retries never consume
+	// the campaign's seeded plan stream: a retried experiment reuses its
+	// already-drawn plan, so a flaky campaign logs the same plans as a clean
+	// one. Like Workers, an engine knob that is not persisted.
+	RetryLimit int
+	// RetryBackoff is the base delay between retry attempts, doubling per
+	// attempt (exponential backoff). 0 retries immediately.
+	RetryBackoff time.Duration
+	// ExperimentTimeout is the wall-clock watchdog per experiment attempt: an
+	// attempt still running after this long is recorded as a "hang"
+	// termination and the campaign moves on with a replacement target instead
+	// of wedging. 0 disables the watchdog, which Validate only allows when
+	// the workload's cycle budget bounds execution. Engine knob, not
+	// persisted.
+	ExperimentTimeout time.Duration
 }
 
 // Row converts the campaign to its CampaignData representation.
@@ -123,6 +141,15 @@ func (c Campaign) Validate(ops target.Operations) error {
 	if c.InjectMaxTime < c.InjectMinTime {
 		return fmt.Errorf("core: campaign %s: injection window [%d,%d] invalid",
 			c.Name, c.InjectMinTime, c.InjectMaxTime)
+	}
+	if c.RetryLimit < 0 || c.RetryBackoff < 0 || c.ExperimentTimeout < 0 {
+		return fmt.Errorf("core: campaign %s: negative retry/timeout configuration", c.Name)
+	}
+	// No configuration may hang unbounded: an unbounded cycle budget
+	// (Workload.MaxCycles == 0) needs the wall-clock watchdog as a backstop.
+	if c.Workload.MaxCycles == 0 && c.ExperimentTimeout <= 0 {
+		return fmt.Errorf("core: campaign %s: workload %s has no cycle budget (MaxCycles=0); set Campaign.ExperimentTimeout so experiments cannot hang unbounded",
+			c.Name, c.Workload.Name)
 	}
 	tech, err := techniqueFor(c.Technique)
 	if err != nil {

@@ -1,0 +1,423 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"goofi/internal/dbase"
+	"goofi/internal/scan"
+	"goofi/internal/target"
+)
+
+// chaosCampaign is scifiCampaign plus the fault-tolerance knobs armed for a
+// misbehaving target.
+func chaosCampaign(name string, n int) Campaign {
+	c := scifiCampaign(name, n)
+	c.RetryLimit = 10
+	c.RetryBackoff = 200 * time.Microsecond
+	return c
+}
+
+// TestRetryPreservesPlanStream is the PRNG-alignment pin of the retry layer:
+// a campaign over a target that transiently glitches (errors and panics, no
+// hangs) must log rows bit-identical to the same campaign on a clean target —
+// retries reuse the drawn plan and successful attempts are fault-free, so
+// fault tolerance is invisible in the database.
+func TestRetryPreservesPlanStream(t *testing.T) {
+	c := chaosCampaign("retry-align", 8)
+
+	opsClean, storeClean := newEnv(t)
+	cleanSum, err := NewRunner(opsClean, storeClean, c).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opsFlaky, storeFlaky := newEnv(t)
+	flaky := target.NewFlaky(opsFlaky, target.FlakyConfig{ErrorRate: 0.01, PanicRate: 0.002, Seed: 7})
+	sum, err := NewRunner(flaky, storeFlaky, c).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Retries == 0 {
+		t.Fatal("chaos campaign exercised no retries; raise the rates or change the seed")
+	}
+	if sum.Completed != c.NExperiments || sum.Terminations[TermFailed] != 0 {
+		t.Fatalf("summary = %+v, want all %d experiments recovered", sum, c.NExperiments)
+	}
+
+	clean := campaignRows(t, storeClean, c.Name)
+	flakyRows := campaignRows(t, storeFlaky, c.Name)
+	if len(clean) != len(flakyRows) {
+		t.Fatalf("rows: clean %d, flaky %d", len(clean), len(flakyRows))
+	}
+	for i := range clean {
+		if !reflect.DeepEqual(clean[i], flakyRows[i]) {
+			t.Errorf("row %d differs:\nclean: %+v\nflaky: %+v", i, clean[i], flakyRows[i])
+		}
+	}
+	if cleanSum.Terminations[TermHang] != 0 || cleanSum.Retries != 0 {
+		t.Fatalf("clean run used fault tolerance: %+v", cleanSum)
+	}
+}
+
+// TestFlakyParallelCampaignDeterministic is the acceptance pin of the chaos
+// layer: a parallel campaign against targets that inject errors, panics and
+// genuine hangs runs to completion (no process death, no wedge), logs hang
+// terminations, and a seeded rerun is bit-identical — including which
+// experiments hung.
+func TestFlakyParallelCampaignDeterministic(t *testing.T) {
+	cfg := target.FlakyConfig{ErrorRate: 0.01, PanicRate: 0.003, HangRate: 0.004, Seed: 11}
+	run := func() (Summary, []dbase.ExperimentRow) {
+		c := chaosCampaign("chaos-par", 10)
+		c.Workers = 3
+		c.ExperimentTimeout = 500 * time.Millisecond
+		ops, store := newEnv(t)
+		r := NewRunner(target.NewFlaky(ops, cfg), store, c)
+		r.Factory = target.FlakyFactory(target.DefaultThorFactory(), cfg)
+		sum, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, campaignRows(t, store, c.Name)
+	}
+	sum1, rows1 := run()
+	sum2, rows2 := run()
+
+	if sum1.Completed != 10 {
+		t.Fatalf("summary = %+v, want 10 completed", sum1)
+	}
+	if sum1.Hangs == 0 || sum1.Terminations[TermHang] == 0 {
+		t.Fatalf("summary = %+v, want at least one watchdog hang; tune the chaos seed", sum1)
+	}
+	if sum1.Quarantined == 0 {
+		t.Fatalf("summary = %+v, want quarantined targets", sum1)
+	}
+	if sum1.Hangs != sum2.Hangs || sum1.Retries != sum2.Retries || sum1.Quarantined != sum2.Quarantined {
+		t.Fatalf("fault-tolerance counters not reproducible:\nrun1: %+v\nrun2: %+v", sum1, sum2)
+	}
+	if len(rows1) != len(rows2) {
+		t.Fatalf("rows: run1 %d, run2 %d", len(rows1), len(rows2))
+	}
+	hangRows := 0
+	for i := range rows1 {
+		if !reflect.DeepEqual(rows1[i], rows2[i]) {
+			t.Errorf("row %d differs between seeded reruns:\nrun1: %+v\nrun2: %+v", i, rows1[i], rows2[i])
+		}
+		if rows1[i].TerminationReason == TermHang {
+			hangRows++
+		}
+	}
+	if hangRows != sum1.Hangs {
+		t.Fatalf("hang rows = %d, summary hangs = %d", hangRows, sum1.Hangs)
+	}
+}
+
+// hangAt wraps a target and wedges forever (select{}) on every scan read of
+// one chosen experiment — a deterministic stand-in for a hung test card.
+type hangAt struct {
+	target.Operations
+	hangExp int
+	cur     int
+}
+
+func (h *hangAt) SeedExperiment(campaignSeed int64, experiment, attempt int) {
+	h.cur = experiment
+}
+
+func (h *hangAt) ReadScanChain(chain string) (scan.Bits, error) {
+	if h.cur == h.hangExp {
+		select {}
+	}
+	return h.Operations.ReadScanChain(chain)
+}
+
+// countingFactory mints through an inner constructor until its budget is
+// spent, then fails — and counts every mint.
+type countingFactory struct {
+	mu     sync.Mutex
+	minted int
+	budget int
+	mint   func() target.Operations
+}
+
+func (f *countingFactory) New() (target.Operations, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.minted >= f.budget {
+		return nil, errors.New("factory: out of targets")
+	}
+	f.minted++
+	return f.mint(), nil
+}
+
+// TestSequentialHangQuarantinesTarget: in the sequential engine a watchdog
+// hang records a "hang" row, retires the poisoned target, and continues on a
+// factory-minted replacement; every other row matches a clean run.
+func TestSequentialHangQuarantinesTarget(t *testing.T) {
+	c := scifiCampaign("seq-hang", 5)
+	c.ExperimentTimeout = 300 * time.Millisecond
+
+	opsClean, storeClean := newEnv(t)
+	if _, err := NewRunner(opsClean, storeClean, scifiCampaign("seq-hang", 5)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, store := newEnv(t)
+	factory := &countingFactory{budget: 8, mint: func() target.Operations { return target.NewDefaultThorTarget() }}
+	r := NewRunner(&hangAt{Operations: ops, hangExp: 2, cur: -2}, store, c)
+	r.Factory = factory
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 5 || sum.Hangs != 1 || sum.Quarantined != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if factory.minted != 1 {
+		t.Fatalf("minted %d replacements, want 1", factory.minted)
+	}
+
+	clean := campaignRows(t, storeClean, c.Name)
+	rows := campaignRows(t, store, c.Name)
+	if len(rows) != len(clean) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(clean))
+	}
+	for i := range rows {
+		if rows[i].ExperimentName == c.Name+"/e0002" {
+			if rows[i].TerminationReason != TermHang {
+				t.Errorf("hung experiment logged as %q", rows[i].TerminationReason)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(rows[i], clean[i]) {
+			t.Errorf("row %d (%s) differs from clean run", i, rows[i].ExperimentName)
+		}
+	}
+}
+
+// TestSequentialHangWithoutFactory: with no Factory to replace the poisoned
+// target, the campaign aborts with a descriptive error — after logging the
+// hang row, so a resume skips it.
+func TestSequentialHangWithoutFactory(t *testing.T) {
+	c := scifiCampaign("seq-hang-nofac", 4)
+	c.ExperimentTimeout = 300 * time.Millisecond
+	ops, store := newEnv(t)
+	r := NewRunner(&hangAt{Operations: ops, hangExp: 1, cur: -2}, store, c)
+	_, err := r.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "Factory") {
+		t.Fatalf("err = %v, want a missing-Factory error", err)
+	}
+	row, err := store.GetExperiment(c.Name + "/e0001")
+	if err != nil || row.TerminationReason != TermHang {
+		t.Fatalf("hang row = %+v, %v", row, err)
+	}
+}
+
+// hangAlways wedges on the first scan read of every experiment.
+type hangAlways struct{ target.Operations }
+
+func (h *hangAlways) ReadScanChain(chain string) (scan.Bits, error) {
+	select {}
+}
+
+// TestParallelQuarantineReplacesWorkerTargets: a hang on one experiment in
+// the pool retires that worker's target and mints a replacement; the
+// campaign completes with every other row clean.
+func TestParallelQuarantineReplacesWorkerTargets(t *testing.T) {
+	c := scifiCampaign("par-quarantine", 8)
+	c.Workers = 2
+	c.ExperimentTimeout = 300 * time.Millisecond
+
+	ops, store := newEnv(t)
+	factory := &countingFactory{budget: 100, mint: func() target.Operations {
+		return &hangAt{Operations: target.NewDefaultThorTarget(), hangExp: 3, cur: -2}
+	}}
+	r := NewRunner(ops, store, c)
+	r.Factory = factory
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 8 || sum.Hangs != 1 || sum.Quarantined != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if factory.minted != c.Workers+1 {
+		t.Fatalf("minted %d targets, want %d workers + 1 replacement", factory.minted, c.Workers)
+	}
+	rows := campaignRows(t, store, c.Name)
+	if len(rows) != c.NExperiments+1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// TestParallelDegradesWhenFactoryExhausted: when every worker loses its
+// target and no replacement can be minted, the campaign reports the loss
+// (rather than wedging) with the hang rows logged — and a re-run with a
+// healthy factory resumes past them.
+func TestParallelDegradesWhenFactoryExhausted(t *testing.T) {
+	c := scifiCampaign("par-degrade", 6)
+	c.Workers = 2
+	c.ExperimentTimeout = 300 * time.Millisecond
+
+	ops, store := newEnv(t)
+	factory := &countingFactory{budget: 2, mint: func() target.Operations {
+		return &hangAlways{Operations: target.NewDefaultThorTarget()}
+	}}
+	r := NewRunner(ops, store, c)
+	r.Factory = factory
+	sum, err := r.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "workers lost") {
+		t.Fatalf("err = %v, want an all-workers-lost error", err)
+	}
+	if sum.Hangs != 2 || sum.Quarantined != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// Resume with a healthy factory: hang rows are skipped, the rest runs.
+	ops2 := target.NewDefaultThorTarget()
+	r2 := NewRunner(ops2, store, c)
+	r2.Factory = target.DefaultThorFactory()
+	sum2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Skipped != 2 || sum2.Completed != 4 {
+		t.Fatalf("resume summary = %+v", sum2)
+	}
+	rows := campaignRows(t, store, c.Name)
+	if len(rows) != c.NExperiments+1 {
+		t.Fatalf("rows = %d, want %d", len(rows), c.NExperiments+1)
+	}
+}
+
+// failingStore wraps a CampaignStore and fails PutExperiments on a schedule:
+// the first failFirst calls fail transiently; every call after call number
+// permanentAfter (when > 0) fails permanently.
+type failingStore struct {
+	CampaignStore
+	mu             sync.Mutex
+	calls          int
+	failFirst      int
+	permanentAfter int
+}
+
+func (s *failingStore) PutExperiments(rows []dbase.ExperimentRow) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.calls <= s.failFirst {
+		return target.Transient(errors.New("store: connection glitch"))
+	}
+	if s.permanentAfter > 0 && s.calls > s.permanentAfter {
+		return errors.New("store: disk full")
+	}
+	return s.CampaignStore.PutExperiments(rows)
+}
+
+// TestParallelFlushRetriesTransientStore: a store whose batched insert
+// glitches transiently must not lose rows — the flush keeps its batch and
+// retries with backoff.
+func TestParallelFlushRetriesTransientStore(t *testing.T) {
+	c := scifiCampaign("flush-retry", 10)
+	c.Workers = 2
+	ops, store := newEnv(t)
+	fs := &failingStore{CampaignStore: store, failFirst: 2}
+	r := NewRunner(ops, fs, c)
+	r.Factory = target.DefaultThorFactory()
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != c.NExperiments {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if fs.calls < 3 {
+		t.Fatalf("store calls = %d, want the failed attempts plus a success", fs.calls)
+	}
+	rows := campaignRows(t, store, c.Name)
+	if len(rows) != c.NExperiments+1 {
+		t.Fatalf("rows = %d, want %d — the retried batch lost rows", len(rows), c.NExperiments+1)
+	}
+}
+
+// TestParallelStoreFailureThenResume: a mid-campaign permanent store failure
+// aborts the run; re-running against the recovered store resumes and the
+// final rows are bit-identical to an uninterrupted campaign.
+func TestParallelStoreFailureThenResume(t *testing.T) {
+	c := scifiCampaign("store-crash", 40)
+	c.Workers = 4
+
+	opsRef, storeRef := newEnv(t)
+	cRef := c
+	if _, err := func() (Summary, error) {
+		r := NewRunner(opsRef, storeRef, cRef)
+		r.Factory = target.DefaultThorFactory()
+		return r.Run(context.Background())
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, store := newEnv(t)
+	// The first batched insert lands, every later one fails permanently:
+	// with 40 experiments the 32-row batch cap guarantees at least two
+	// insert calls, so the campaign must abort mid-flight.
+	fs := &failingStore{CampaignStore: store, permanentAfter: 1}
+	r := NewRunner(ops, fs, c)
+	r.Factory = target.DefaultThorFactory()
+	if _, err := r.Run(context.Background()); err == nil || errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want the store failure", err)
+	}
+
+	ops2 := target.NewDefaultThorTarget()
+	r2 := NewRunner(ops2, store, c)
+	r2.Factory = target.DefaultThorFactory()
+	sum, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Skipped+sum.Completed != c.NExperiments {
+		t.Fatalf("resume summary = %+v", sum)
+	}
+
+	want := campaignRows(t, storeRef, c.Name)
+	got := campaignRows(t, store, c.Name)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("row %d (%s) differs from the uninterrupted run", i, want[i].ExperimentName)
+		}
+	}
+}
+
+// TestValidateUnboundedWorkloadNeedsWatchdog: a workload with no cycle budget
+// is only acceptable when the wall-clock watchdog bounds experiments instead.
+func TestValidateUnboundedWorkloadNeedsWatchdog(t *testing.T) {
+	ops, _ := newEnv(t)
+	c := scifiCampaign("unbounded", 5)
+	c.Workload.MaxCycles = 0
+	if err := c.Validate(ops); err == nil || !strings.Contains(err.Error(), "ExperimentTimeout") {
+		t.Fatalf("err = %v, want the unbounded-budget rejection", err)
+	}
+	c.ExperimentTimeout = time.Second
+	if err := c.Validate(ops); err != nil {
+		t.Fatalf("watchdog-backed unbounded workload should validate: %v", err)
+	}
+
+	bad := scifiCampaign("neg", 5)
+	bad.RetryLimit = -1
+	if err := bad.Validate(ops); err == nil {
+		t.Fatal("negative RetryLimit must be rejected")
+	}
+	bad = scifiCampaign("neg2", 5)
+	bad.ExperimentTimeout = -time.Second
+	if err := bad.Validate(ops); err == nil {
+		t.Fatal("negative ExperimentTimeout must be rejected")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"goofi/internal/dbase"
 	"goofi/internal/faultmodel"
@@ -17,6 +19,11 @@ import (
 // context cancellation (Fig. 7's "end the campaign" control).
 var ErrStopped = errors.New("core: campaign stopped")
 
+// errHung is the internal sentinel the per-experiment watchdog returns. The
+// target the attempt ran on is poisoned: the abandoned goroutine may still be
+// executing on it, so the runner must never touch that instance again.
+var errHung = errors.New("core: experiment attempt hung")
+
 // RefSuffix and DetailSuffix name the special experiment rows.
 const (
 	// RefSuffix is appended to the campaign name for the reference run.
@@ -26,6 +33,33 @@ const (
 	DetailSuffix = "/detail"
 )
 
+// Termination reasons synthesised by the campaign engine itself (they extend
+// the target-level reasons of target.Reason in the terminationReason column).
+const (
+	// TermHang records an experiment whose attempt outlived the wall-clock
+	// watchdog (Campaign.ExperimentTimeout): the target wedged, the campaign
+	// moved on.
+	TermHang = "hang"
+	// TermFailed records an experiment whose attempts were all lost to
+	// transient target faults (the retry budget was exhausted).
+	TermFailed = "failed"
+)
+
+// refIndex is the experiment index the reference run is seeded with.
+const refIndex = -1
+
+// CampaignStore is the persistence surface the campaign runner needs —
+// implemented by *dbase.Store and narrow enough for tests to wrap with
+// failure-injecting decorators.
+type CampaignStore interface {
+	GetCampaign(name string) (dbase.CampaignRow, error)
+	PutCampaign(row dbase.CampaignRow) error
+	PutExperiment(row dbase.ExperimentRow) error
+	PutExperiments(rows []dbase.ExperimentRow) error
+	ExperimentNames(campaign string) (map[string]bool, error)
+	GetExperiment(name string) (dbase.ExperimentRow, error)
+}
+
 // Progress is delivered to the progress callback after every experiment —
 // the data behind the paper's progress window (Fig. 7).
 type Progress struct {
@@ -34,17 +68,33 @@ type Progress struct {
 	Done, Total int
 	// LastOutcome summarises the most recent experiment's termination.
 	LastOutcome string
+	// Retries, Hangs and Quarantined mirror the running Summary's
+	// fault-tolerance counters.
+	Retries     int
+	Hangs       int
+	Quarantined int
 }
 
 // Summary reports a finished (or stopped) campaign.
 type Summary struct {
 	Campaign string
-	// Completed is the number of fault-injection experiments logged.
+	// Completed is the number of fault-injection experiments logged by this
+	// run, including hang/failed rows.
 	Completed int
+	// Skipped counts experiments found already logged and reused on resume.
+	Skipped int
 	// Terminations counts experiments per termination reason.
 	Terminations map[string]int
 	// Detections counts detected experiments per mechanism.
 	Detections map[string]int
+	// Retries counts experiment attempts retried after transient target
+	// faults.
+	Retries int
+	// Hangs counts experiments the wall-clock watchdog gave up on.
+	Hangs int
+	// Quarantined counts target instances retired and replaced after a hang
+	// or an exhausted retry budget.
+	Quarantined int
 }
 
 // Runner executes a fault-injection campaign over a target, logging
@@ -52,7 +102,7 @@ type Summary struct {
 // from other goroutines while Run executes (Fig. 7).
 type Runner struct {
 	ops      target.Operations
-	store    *dbase.Store
+	store    CampaignStore
 	campaign Campaign
 
 	// OnProgress, when set, is called after the reference run and after
@@ -73,7 +123,9 @@ type Runner struct {
 	// Factory, when set, supplies independent target instances for parallel
 	// execution (Campaign.Workers > 1): one target per worker, so
 	// experiments share no simulator state. The runner's own ops still
-	// performs validation and the reference run.
+	// performs validation and the reference run. The fault-tolerance layer
+	// also uses it to replace targets poisoned by a hang (sequential and
+	// parallel alike).
 	Factory target.Factory
 
 	mu      sync.Mutex
@@ -84,7 +136,7 @@ type Runner struct {
 
 // NewRunner builds a runner. RegisterBuiltins is called implicitly so the
 // shipped techniques are always available.
-func NewRunner(ops target.Operations, store *dbase.Store, campaign Campaign) *Runner {
+func NewRunner(ops target.Operations, store CampaignStore, campaign Campaign) *Runner {
 	RegisterBuiltins()
 	r := &Runner{ops: ops, store: store, campaign: campaign}
 	r.cond = sync.NewCond(&r.mu)
@@ -125,6 +177,127 @@ func (r *Runner) checkpoint() error {
 		return ErrStopped
 	}
 	return nil
+}
+
+// runOutcome is the fault-tolerant conclusion of one experiment: success,
+// hang, exhausted retries, or a permanent error that must abort the campaign.
+type runOutcome struct {
+	exp     Experiment
+	retries int
+	// hung: the watchdog fired; the target that ran the attempt is poisoned.
+	hung bool
+	// failed: every attempt was lost to transient faults; the experiment is
+	// recorded as TermFailed and the campaign continues.
+	failed bool
+	// cause is the last transient error behind a failed outcome.
+	cause error
+	// err is a permanent (non-transient) failure: the campaign aborts.
+	err error
+}
+
+// runRecovered invokes the technique with panic containment: a panicking
+// simulator becomes a transient experiment failure instead of process death.
+func runRecovered(tech technique, ops target.Operations, c Campaign, plan faultmodel.Plan) (exp Experiment, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = target.Transient(fmt.Errorf("core: panic during experiment: %v", p))
+		}
+	}()
+	return tech.run(ops, c, plan)
+}
+
+// runAttempt executes one experiment attempt. Targets with seeded behaviour
+// (target.ExperimentSeeder, e.g. the Flaky chaos wrapper) are reseeded per
+// (campaign seed, experiment, attempt) so outcomes do not depend on worker
+// scheduling. With Campaign.ExperimentTimeout set, the attempt runs under a
+// wall-clock watchdog; on expiry errHung is returned and the attempt's
+// goroutine is abandoned together with the target it runs on.
+func (r *Runner) runAttempt(ops target.Operations, tech technique, plan faultmodel.Plan, idx, attempt int) (Experiment, error) {
+	c := r.campaign
+	if s, ok := ops.(target.ExperimentSeeder); ok {
+		s.SeedExperiment(c.Seed, idx, attempt)
+	}
+	if c.ExperimentTimeout <= 0 {
+		return runRecovered(tech, ops, c, plan)
+	}
+	type attemptResult struct {
+		exp Experiment
+		err error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		exp, err := runRecovered(tech, ops, c, plan)
+		ch <- attemptResult{exp: exp, err: err}
+	}()
+	timer := time.NewTimer(c.ExperimentTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.exp, res.err
+	case <-timer.C:
+		return Experiment{}, errHung
+	}
+}
+
+// runExperiment runs one experiment to a conclusion: bounded retries with
+// exponential backoff and full target re-init after transient faults, a hang
+// verdict when the watchdog fires, and a permanent error otherwise. Retries
+// reuse the already-drawn plan, so the campaign's seeded plan stream is never
+// consumed by fault tolerance.
+func (r *Runner) runExperiment(ops target.Operations, tech technique, plan faultmodel.Plan, idx int) runOutcome {
+	c := r.campaign
+	var out runOutcome
+	for attempt := 0; ; attempt++ {
+		exp, err := r.runAttempt(ops, tech, plan, idx, attempt)
+		if err == nil {
+			out.exp = exp
+			return out
+		}
+		if errors.Is(err, errHung) {
+			out.hung = true
+			out.exp = Experiment{Plan: plan, State: &StateVector{}}
+			return out
+		}
+		if !target.IsTransient(err) {
+			out.err = err
+			return out
+		}
+		if attempt >= c.RetryLimit {
+			out.failed = true
+			out.cause = err
+			out.exp = Experiment{Plan: plan, State: &StateVector{}}
+			return out
+		}
+		out.retries++
+		if c.RetryBackoff > 0 {
+			shift := attempt
+			if shift > 6 {
+				shift = 6 // cap the exponential curve, not the retry count
+			}
+			time.Sleep(c.RetryBackoff << shift)
+		}
+		// Full power-up reset before the retry: a glitching target starts
+		// the next attempt from a clean slate. A transient re-init failure
+		// just burns the attempt; the next iteration re-inits again.
+		if ierr := ops.InitTestCard(); ierr != nil && !target.IsTransient(ierr) {
+			out.err = ierr
+			return out
+		}
+	}
+}
+
+// mintReplacement quarantines a retired target by minting a fresh instance
+// from the Factory and preparing it for campaign duty.
+func (r *Runner) mintReplacement() (target.Operations, error) {
+	ops, err := r.Factory.New()
+	if err != nil {
+		return nil, err
+	}
+	ops.SetDetailMode(r.campaign.DetailMode)
+	if cp, ok := ops.(target.Checkpointer); ok {
+		cp.ClearCheckpoint()
+	}
+	return ops, nil
 }
 
 // Run executes the campaign: it stores the campaign definition, performs the
@@ -171,7 +344,14 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	}
 
 	r.ops.SetDetailMode(c.DetailMode)
-	defer r.ops.SetDetailMode(false)
+	// A hang poisons the target it ran on; if that was r.ops itself, even
+	// the detail-mode reset must not touch it again.
+	opsPoisoned := false
+	defer func() {
+		if !opsPoisoned {
+			r.ops.SetDetailMode(false)
+		}
+	}()
 
 	// A stale snapshot from an earlier campaign must never leak in.
 	if cp, ok := r.ops.(target.Checkpointer); ok {
@@ -189,23 +369,32 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	// Reference run: the same algorithm with an empty plan (Fig. 2,
 	// makeReferenceRun), logged under <campaign>/ref. A stopped campaign
 	// that is re-run resumes instead of redoing completed work (the
-	// "restart" control of Fig. 7): the logged reference is reused.
+	// "restart" control of Fig. 7): the logged reference is reused. The
+	// reference enjoys the same retry protection as experiments, but a hang
+	// or exhausted budget aborts — the campaign is meaningless without it.
 	if !logged[c.Name+RefSuffix] {
-		ref, err := tech.run(r.ops, c, faultmodel.Plan{})
-		if err != nil {
-			return Summary{}, fmt.Errorf("core: reference run: %w", err)
+		out := r.runExperiment(r.ops, tech, faultmodel.Plan{}, refIndex)
+		sum.Retries += out.retries
+		switch {
+		case out.err != nil:
+			return sum, fmt.Errorf("core: reference run: %w", out.err)
+		case out.hung:
+			opsPoisoned = true
+			return sum, fmt.Errorf("core: reference run hung (watchdog %v); campaign cannot proceed without a reference", c.ExperimentTimeout)
+		case out.failed:
+			return sum, fmt.Errorf("core: reference run failed after %d attempts: %w", c.RetryLimit+1, out.cause)
 		}
-		if err := r.logExperiment(c.Name+RefSuffix, "", ref); err != nil {
-			return Summary{}, err
+		if err := r.logExperiment(c.Name+RefSuffix, "", out.exp); err != nil {
+			return sum, err
 		}
-		r.report(Progress{Campaign: c.Name, Done: 0, Total: c.NExperiments,
-			LastOutcome: "reference " + ref.Term.Reason.String()})
+		r.report(r.progress(&sum, 0, c.NExperiments, "reference "+out.exp.Term.Reason.String()))
 	}
 
 	if c.Workers > 1 {
 		return r.runParallel(tech, locs, logged, sum)
 	}
 
+	ops := r.ops
 	rng := rand.New(rand.NewSource(c.Seed))
 	for i := 0; i < c.NExperiments; i++ {
 		if err := r.checkpoint(); err != nil {
@@ -224,17 +413,36 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
+			sum.Skipped++
 			continue
 		}
-		exp, err := tech.run(r.ops, c, plan)
-		if err != nil {
-			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		out := r.runExperiment(ops, tech, plan, i)
+		sum.Retries += out.retries
+		if out.err != nil {
+			return sum, fmt.Errorf("core: experiment %d: %w", i, out.err)
 		}
-		if err := r.logExperiment(name, "", exp); err != nil {
+		if err := r.store.PutExperiment(r.outcomeRow(name, "", out)); err != nil {
 			return sum, err
 		}
-		r.account(&sum, exp)
-		r.report(Progress{Campaign: c.Name, Done: i + 1, Total: c.NExperiments, LastOutcome: outcomeOf(exp)})
+		label := r.accountOutcome(&sum, out)
+		r.report(r.progress(&sum, i+1, c.NExperiments, label))
+		if out.hung {
+			// The hung attempt's goroutine may still be running on ops:
+			// quarantine the instance and continue on a replacement.
+			if ops == r.ops {
+				opsPoisoned = true
+			}
+			if r.Factory == nil {
+				return sum, fmt.Errorf("core: experiment %d hung (watchdog %v) and no Runner.Factory is set to replace the abandoned target",
+					i, c.ExperimentTimeout)
+			}
+			nops, err := r.mintReplacement()
+			if err != nil {
+				return sum, fmt.Errorf("core: experiment %d: replace hung target: %w", i, err)
+			}
+			ops = nops
+			sum.Quarantined++
+		}
 		if r.StopCondition != nil && r.StopCondition(sum) {
 			return sum, nil
 		}
@@ -242,12 +450,36 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	return sum, nil
 }
 
-// account folds one completed experiment into the running summary.
-func (r *Runner) account(sum *Summary, exp Experiment) {
+// accountOutcome folds one concluded experiment into the running summary and
+// returns its progress label.
+func (r *Runner) accountOutcome(sum *Summary, out runOutcome) string {
 	sum.Completed++
-	sum.Terminations[exp.Term.Reason.String()]++
-	if exp.Term.Reason == target.TerminDetected {
-		sum.Detections[exp.Term.Mechanism]++
+	switch {
+	case out.hung:
+		sum.Hangs++
+		sum.Terminations[TermHang]++
+		return TermHang
+	case out.failed:
+		sum.Terminations[TermFailed]++
+		return TermFailed
+	}
+	sum.Terminations[out.exp.Term.Reason.String()]++
+	if out.exp.Term.Reason == target.TerminDetected {
+		sum.Detections[out.exp.Term.Mechanism]++
+	}
+	return outcomeOf(out.exp)
+}
+
+// progress snapshots the summary's counters into a progress event.
+func (r *Runner) progress(sum *Summary, done, total int, label string) Progress {
+	return Progress{
+		Campaign:    r.campaign.Name,
+		Done:        done,
+		Total:       total,
+		LastOutcome: label,
+		Retries:     sum.Retries,
+		Hangs:       sum.Hangs,
+		Quarantined: sum.Quarantined,
 	}
 }
 
@@ -267,17 +499,28 @@ type parallelJob struct {
 	plan faultmodel.Plan
 }
 
-// parallelResult is one finished experiment on its way to the logging stage.
+// parallelResult is one concluded experiment on its way to the logging stage.
 type parallelResult struct {
 	idx  int
 	name string
-	exp  Experiment
-	err  error
+	out  runOutcome
+	// quarantined marks that the worker retired its target after this job.
+	quarantined bool
+	// workerLost marks that no replacement could be minted and the worker
+	// retired itself, degrading the pool.
+	workerLost bool
 }
 
 // maxLogBatch caps how many experiment rows accumulate before the logging
 // stage flushes them in one batched insert.
 const maxLogBatch = 32
+
+// flushRetryLimit and flushRetryBackoff bound the logging stage's retries of
+// a transiently failing store before the campaign aborts.
+const (
+	flushRetryLimit   = 3
+	flushRetryBackoff = 5 * time.Millisecond
+)
 
 // runParallel is the worker-pool campaign engine. Every injection plan is
 // pre-drawn here, on the coordinating goroutine, from the single seeded PRNG
@@ -285,11 +528,17 @@ const maxLogBatch = 32
 // bit-identical to a sequential run. Experiments then fan out to
 // Campaign.Workers workers, each owning a factory-minted target instance,
 // and results funnel back through a logging stage that batches rows into
-// dbase.Store.PutExperiments. Resume semantics (completed experiments are
+// CampaignStore.PutExperiments. Resume semantics (completed experiments are
 // skipped before dispatch), Pause/Stop (honoured between dispatches;
 // in-flight experiments drain and are logged) and StopCondition are
 // preserved. Progress is reported in completion order, which is the only
 // observable difference from a sequential run.
+//
+// Fault tolerance: each worker runs experiments through the retry/watchdog
+// machinery of runExperiment. A worker whose target hung or glitched through
+// the whole retry budget quarantines the instance and continues on a freshly
+// minted replacement; if the Factory cannot deliver one, the worker retires
+// and the pool degrades to fewer workers instead of halting the campaign.
 func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged map[string]bool, sum Summary) (Summary, error) {
 	c := r.campaign
 	if r.Factory == nil {
@@ -302,7 +551,6 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	jobs := make([]parallelJob, 0, c.NExperiments)
-	skipped := 0
 	for i := 0; i < c.NExperiments; i++ {
 		// Drawn even for experiments skipped on resume, exactly like the
 		// sequential loop: the stream stays aligned.
@@ -312,7 +560,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
-			skipped++
+			sum.Skipped++
 			continue
 		}
 		jobs = append(jobs, parallelJob{idx: i, name: name, plan: plan})
@@ -342,20 +590,47 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 	var haltOnce sync.Once
 	halt := func() { haltOnce.Do(func() { close(haltDispatch) }) }
 
+	var liveWorkers atomic.Int32
+	liveWorkers.Store(int32(workers))
+	setup := func(ops target.Operations) {
+		ops.SetDetailMode(c.DetailMode)
+		if cp, ok := ops.(target.Checkpointer); ok {
+			cp.ClearCheckpoint()
+		}
+	}
 	var wg sync.WaitGroup
 	for _, ops := range targets {
 		wg.Add(1)
 		go func(ops target.Operations) {
 			defer wg.Done()
-			ops.SetDetailMode(c.DetailMode)
-			defer ops.SetDetailMode(false)
-			if cp, ok := ops.(target.Checkpointer); ok {
-				cp.ClearCheckpoint()
-			}
+			// When the last worker retires, dispatch must halt too or the
+			// dispatcher would block forever on an unclaimed jobCh send.
+			defer func() {
+				if liveWorkers.Add(-1) == 0 {
+					halt()
+				}
+			}()
+			setup(ops)
 			for j := range jobCh {
-				exp, err := tech.run(ops, c, j.plan)
-				resCh <- parallelResult{idx: j.idx, name: j.name, exp: exp, err: err}
+				res := parallelResult{idx: j.idx, name: j.name}
+				res.out = r.runExperiment(ops, tech, j.plan, j.idx)
+				if res.out.hung || res.out.failed {
+					// Quarantine: the target wedged (and is still owned by
+					// the abandoned attempt goroutine) or glitched through
+					// the whole retry budget. Retire it and continue on a
+					// fresh instance; without one, degrade the pool.
+					res.quarantined = true
+					nops, err := r.mintReplacement()
+					if err != nil {
+						res.workerLost = true
+						resCh <- res
+						return
+					}
+					ops = nops
+				}
+				resCh <- res
 			}
+			ops.SetDetailMode(false)
 		}(ops)
 	}
 	go func() {
@@ -384,28 +659,48 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 	// buffered into batched inserts; the batch flushes when full or when the
 	// result stream runs momentarily dry, so logging latency stays bounded.
 	var (
-		pending  []dbase.ExperimentRow
-		firstErr error
-		condStop bool
+		pending     []dbase.ExperimentRow
+		firstErr    error
+		condStop    bool
+		workersLost int
 	)
-	done := skipped
+	done := sum.Skipped
 	received := 0
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		err := r.store.PutExperiments(pending)
-		pending = pending[:0]
-		if err != nil && firstErr == nil {
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = r.store.PutExperiments(pending); err == nil {
+				pending = pending[:0]
+				return
+			}
+			if attempt >= flushRetryLimit || !target.IsTransient(err) {
+				break
+			}
+			time.Sleep(flushRetryBackoff << attempt)
+		}
+		// pending is kept intact: the rows stay eligible for the next flush
+		// (the store may have recovered by then); if the campaign aborts
+		// instead, the resume scan simply re-runs them.
+		if firstErr == nil {
 			firstErr = err
 			halt()
 		}
 	}
 	handle := func(res parallelResult) {
 		received++
-		if res.err != nil {
+		sum.Retries += res.out.retries
+		if res.quarantined {
+			sum.Quarantined++
+		}
+		if res.workerLost {
+			workersLost++
+		}
+		if res.out.err != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("core: experiment %d: %w", res.idx, res.err)
+				firstErr = fmt.Errorf("core: experiment %d: %w", res.idx, res.out.err)
 				halt()
 			}
 			return
@@ -413,10 +708,10 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		if firstErr != nil {
 			return
 		}
-		pending = append(pending, r.experimentRow(res.name, "", res.exp))
+		pending = append(pending, r.outcomeRow(res.name, "", res.out))
 		done++
-		r.account(&sum, res.exp)
-		r.report(Progress{Campaign: c.Name, Done: done, Total: c.NExperiments, LastOutcome: outcomeOf(res.exp)})
+		label := r.accountOutcome(&sum, res.out)
+		r.report(r.progress(&sum, done, c.NExperiments, label))
 		if !condStop && r.StopCondition != nil && r.StopCondition(sum) {
 			condStop = true
 			halt()
@@ -448,6 +743,10 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		return sum, nil
 	}
 	if received < len(jobs) {
+		if workersLost == workers {
+			return sum, fmt.Errorf("core: campaign %s: all %d workers lost their targets (%d quarantined); %d experiments not run",
+				c.Name, workers, sum.Quarantined, len(jobs)-received)
+		}
 		// Dispatch was cut short by Stop (or context cancellation, which
 		// maps to Stop): same contract as the sequential loop.
 		return sum, ErrStopped
@@ -490,6 +789,19 @@ func (r *Runner) experimentRow(name, parent string, exp Experiment) dbase.Experi
 		Iterations:        exp.Term.Iterations,
 		StateVector:       exp.State.Encode(),
 	}
+}
+
+// outcomeRow renders a concluded experiment as its LoggedSystemState row,
+// overriding the termination reason for engine-synthesised outcomes.
+func (r *Runner) outcomeRow(name, parent string, out runOutcome) dbase.ExperimentRow {
+	row := r.experimentRow(name, parent, out.exp)
+	switch {
+	case out.hung:
+		row.TerminationReason = TermHang
+	case out.failed:
+		row.TerminationReason = TermFailed
+	}
+	return row
 }
 
 func (r *Runner) logExperiment(name, parent string, exp Experiment) error {

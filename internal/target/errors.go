@@ -1,0 +1,33 @@
+package target
+
+import "errors"
+
+// ErrTransient classifies an operation failure as a transient target glitch:
+// scan-chain communication noise, a momentary simulator fault, a wedged JTAG
+// transaction — the §2 failure modes a campaign engine must survive rather
+// than abort on. Wrap errors with Transient to mark them; the campaign
+// runner retries experiments whose attempts failed transiently and treats
+// every other error as a permanent tool failure.
+var ErrTransient = errors.New("target: transient fault")
+
+// transientError wraps an error so that errors.Is(err, ErrTransient) holds
+// while the original cause stays reachable through the chain.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+
+// Unwrap exposes both the cause and the ErrTransient marker.
+func (e *transientError) Unwrap() []error { return []error{e.err, ErrTransient} }
+
+// Transient marks err as a transient target fault. A nil err stays nil; an
+// already-transient err is returned unchanged.
+func Transient(err error) error {
+	if err == nil || IsTransient(err) {
+		return err
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a transient target fault —
+// the retry/quarantine classification of the campaign engine.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }

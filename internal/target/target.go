@@ -170,6 +170,18 @@ type TriggerWaiter interface {
 	WaitForTrigger(trig trigger.Trigger, maxCycles uint64) (bool, error)
 }
 
+// ExperimentSeeder is the optional capability of targets whose behaviour
+// draws on pseudo-randomness (the Flaky chaos wrapper): the campaign runner
+// reseeds before every experiment attempt, so nondeterministic-looking
+// behaviour is actually a pure function of (campaign seed, experiment index,
+// attempt index) — independent of worker scheduling — and campaigns over such
+// targets stay bit-reproducible.
+type ExperimentSeeder interface {
+	// SeedExperiment reseeds the target's PRNG for one experiment attempt.
+	// The reference run is seeded with experiment index -1.
+	SeedExperiment(campaignSeed int64, experiment, attempt int)
+}
+
 // Factory mints independent target instances. Parallel campaign execution
 // (core.Runner with Campaign.Workers > 1) gives every worker its own
 // instance, so experiments share no simulator state.

@@ -38,7 +38,9 @@ type Spec struct {
 	// ResultAddrs are the memory words holding the workload's results,
 	// compared against the reference run to detect escaped errors.
 	ResultAddrs []uint32
-	// MaxCycles is the per-experiment timeout in instructions.
+	// MaxCycles is the per-experiment cycle budget in instructions; 0 means
+	// unbounded, which campaign validation only accepts together with a
+	// wall-clock watchdog (Campaign.ExperimentTimeout).
 	MaxCycles uint64
 }
 
@@ -51,8 +53,6 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload %s: empty source", s.Name)
 	case !s.TerminatesSelf && s.MaxIterations == 0:
 		return fmt.Errorf("workload %s: non-terminating workload needs MaxIterations", s.Name)
-	case s.MaxCycles == 0:
-		return fmt.Errorf("workload %s: MaxCycles must be positive", s.Name)
 	}
 	return nil
 }

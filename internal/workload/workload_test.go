@@ -39,7 +39,7 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	cases := []Spec{
 		{},
 		{Name: "x"},
-		{Name: "x", Source: "NOP"}, // MaxCycles 0
+		{Name: "x", Source: "NOP"},                // non-terminating, no iterations
 		{Name: "x", Source: "NOP", MaxCycles: 10}, // non-terminating, no iterations
 		{Name: "", Source: "NOP", TerminatesSelf: true, MaxCycles: 1},
 	}
@@ -47,6 +47,12 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("case %d should fail: %+v", i, s)
 		}
+	}
+	// MaxCycles == 0 means "unbounded" at the spec level; campaign validation
+	// is where an unbounded budget requires a wall-clock watchdog.
+	unbounded := Spec{Name: "x", Source: "NOP", TerminatesSelf: true, MaxCycles: 0}
+	if err := unbounded.Validate(); err != nil {
+		t.Errorf("unbounded spec should validate: %v", err)
 	}
 }
 
