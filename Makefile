@@ -9,7 +9,7 @@ GO ?= go
 # a significance test.
 BENCHCOUNT ?= 6
 
-.PHONY: all build vet test race bench benchsmoke ci
+.PHONY: all build vet test race bench benchsmoke cover fuzzsmoke ci
 
 all: ci
 
@@ -43,4 +43,20 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x -benchmem .
 
-ci: vet build test race benchsmoke
+# Coverage across every package, with the per-package summary and a total.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Duration of each short fuzz run in fuzzsmoke.
+FUZZTIME ?= 5s
+
+# Short coverage-guided fuzz of the hostile-input surfaces: the SQL
+# lexer/parser and the packed scan-chain codec. `go test -fuzz` takes one
+# target per invocation, hence three runs.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz '^FuzzBitsPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/scan
+
+ci: vet build test race benchsmoke fuzzsmoke

@@ -141,6 +141,9 @@ func cmdRun(args []string) error {
 	retryBackoff := fs.Duration("retry-backoff", 0, "base delay between retries, doubling per attempt")
 	timeout := fs.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = cycle budget only)")
 	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
+	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
+	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof on this address during the run, e.g. ":6060"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -182,8 +185,25 @@ func cmdRun(args []string) error {
 			c.ExperimentTimeout = 30 * time.Second
 		}
 	}
+	// The recorder wraps outermost — around any chaos layer — so measured
+	// phase times include the chaos delays the engine actually experienced.
+	var rec *goofi.Recorder
+	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
+		rec = goofi.NewRecorder(goofi.RecorderOptions{Trace: *traceOut != ""})
+		db.SetRecorder(rec)
+		ops = goofi.NewMeasuredTarget(ops, rec)
+		factory = goofi.MeasuredTargetFactory(factory, rec)
+		if *debugAddr != "" {
+			addr, err := startDebugServer(*debugAddr, rec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+		}
+	}
 	r := goofi.NewRunner(ops, db, c)
 	r.Factory = factory
+	r.Recorder = rec
 	if !*quiet {
 		r.OnProgress = func(p goofi.Progress) {
 			extra := ""
@@ -202,7 +222,11 @@ func cmdRun(args []string) error {
 	sum, err := r.Run(ctx)
 	if err != nil {
 		fmt.Println()
-		// A stopped campaign still saved its completed experiments.
+		// A stopped campaign still saved its completed experiments — and its
+		// partial metrics/trace are exactly what a post-mortem wants.
+		if oerr := writeObsv(rec, *metricsOut, *traceOut); oerr != nil {
+			fmt.Fprintln(os.Stderr, "goofi: observability output:", oerr)
+		}
 		if saveErr := db.Save(); saveErr != nil {
 			return saveErr
 		}
@@ -224,6 +248,9 @@ func cmdRun(args []string) error {
 	if sum.Retries > 0 || sum.Hangs > 0 || sum.Quarantined > 0 {
 		fmt.Printf("  fault tolerance: %d retries, %d hangs, %d targets quarantined\n",
 			sum.Retries, sum.Hangs, sum.Quarantined)
+	}
+	if err := writeObsv(rec, *metricsOut, *traceOut); err != nil {
+		return err
 	}
 	return db.Save()
 }

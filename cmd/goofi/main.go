@@ -52,6 +52,8 @@ func run(args []string) error {
 		return cmdDelete(rest)
 	case "show":
 		return cmdShow(rest)
+	case "stats":
+		return cmdStats(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -72,6 +74,8 @@ Usage:
   goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
   goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
                   [-retries N] [-retry-backoff D] [-timeout D] [-chaos SPEC]
+                  [-metrics-out FILE] [-trace-out FILE] [-debug-addr ADDR]
+  goofi stats     -metrics FILE
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
   goofi trace     -db FILE -campaign NAME -experiment NAME
   goofi show      -db FILE -experiment NAME
@@ -88,5 +92,9 @@ Models:      transient | transient-multiple,m=K |
 Locations:   chain:<name>[/<field>] and mem:<lo>-<hi>, comma separated
 Chaos spec:  err=P,panic=P,hang=P[,seed=S][,hangdur=D] — wraps the target in a
              seeded transient-fault injector to exercise retry/quarantine/watchdog
+Observability: -metrics-out dumps per-phase timings and store latency
+             histograms as JSON (render with goofi stats -metrics FILE);
+             -trace-out writes a Chrome trace_event file for chrome://tracing;
+             -debug-addr serves live expvar + pprof during the run
 `)
 }

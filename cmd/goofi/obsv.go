@@ -1,0 +1,116 @@
+// Observability surface of the CLI: the -metrics-out/-trace-out/-debug-addr
+// flags of goofi run, and the goofi stats subcommand that renders a metrics
+// snapshot back into a human report.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"goofi"
+)
+
+// writeObsv dumps the recorder's metrics snapshot and Chrome trace to the
+// requested files. A nil recorder (observability off) is a no-op.
+func writeObsv(rec *goofi.Recorder, metricsPath, tracePath string) error {
+	if rec == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", tracePath)
+	}
+	return nil
+}
+
+// The expvar registry is process-global and Publish panics on duplicates, so
+// the "goofi" variable is published once and reads through an atomic pointer
+// to whichever recorder the current run wired up. This keeps repeated run()
+// invocations (the test suite drives the CLI in-process) safe.
+var (
+	debugPublish sync.Once
+	debugRec     atomic.Pointer[goofi.Recorder]
+)
+
+// startDebugServer serves expvar (/debug/vars, including a live "goofi"
+// metrics snapshot) and pprof (/debug/pprof/) on addr for the remainder of
+// the process. It returns the bound address so ":0" is usable.
+func startDebugServer(addr string, rec *goofi.Recorder) (string, error) {
+	debugRec.Store(rec)
+	debugPublish.Do(func() {
+		expvar.Publish("goofi", expvar.Func(func() any {
+			if r := debugRec.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) // lives for the process, like net/http/pprof's default
+	return ln.Addr().String(), nil
+}
+
+// cmdStats renders a metrics snapshot written by goofi run -metrics-out:
+// per-phase time breakdown, store latency histograms, counters and gauges.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	metricsPath := fs.String("metrics", "", "metrics snapshot file from goofi run -metrics-out")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *metricsPath == "" {
+		return fmt.Errorf("-metrics is required")
+	}
+	f, err := os.Open(*metricsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := goofi.ParseMetrics(f)
+	if err != nil {
+		return fmt.Errorf("stats: %s is not a metrics snapshot: %w", *metricsPath, err)
+	}
+	snap.Format(os.Stdout)
+	return nil
+}

@@ -39,12 +39,14 @@ package goofi
 
 import (
 	"context"
+	"io"
 
 	"goofi/internal/analysis"
 	"goofi/internal/core"
 	"goofi/internal/dbase"
 	"goofi/internal/envsim"
 	"goofi/internal/faultmodel"
+	"goofi/internal/obsv"
 	"goofi/internal/preinject"
 	"goofi/internal/target"
 	"goofi/internal/thor"
@@ -273,6 +275,13 @@ const (
 // CampaignRow is the stored form of a campaign (one CampaignData row).
 type CampaignRow = dbase.CampaignRow
 
+// ExperimentRow and AnalysisRow are the logged-state and classification rows
+// of the LoggedSystemState / AnalysisResult tables.
+type (
+	ExperimentRow = dbase.ExperimentRow
+	AnalysisRow   = dbase.AnalysisRow
+)
+
 // CampaignFromRow rebuilds a campaign from its stored row, resolving the
 // workload by name.
 func CampaignFromRow(r CampaignRow) (Campaign, error) { return core.CampaignFromRow(r) }
@@ -378,3 +387,46 @@ func FlakyTargetFactory(inner TargetFactory, cfg FlakyConfig) TargetFactory {
 func ParseFlakyConfig(spec string) (FlakyConfig, error) {
 	return target.ParseFlakyConfig(spec)
 }
+
+// Observability: a nil-safe Recorder collects per-phase timings, counters
+// and latency histograms across the engine, target and database layers, and
+// can emit Chrome trace_event JSON. Wire one recorder through all three:
+//
+//	rec := goofi.NewRecorder(goofi.RecorderOptions{Trace: true})
+//	db.SetRecorder(rec)
+//	ops := goofi.NewMeasuredTarget(goofi.NewThorTarget(), rec)
+//	r := goofi.NewRunner(ops, db, campaign)
+//	r.Recorder = rec
+//	...
+//	rec.WriteMetrics(metricsFile)
+//	rec.WriteTrace(traceFile)
+type (
+	// Recorder is the observability hub; nil disables everything at zero
+	// cost.
+	Recorder = obsv.Recorder
+	// RecorderOptions configures tracing on a new recorder.
+	RecorderOptions = obsv.Options
+	// MetricsSnapshot is the machine-readable dump WriteMetrics produces and
+	// `goofi stats` consumes.
+	MetricsSnapshot = obsv.Snapshot
+	// MeasuredTarget wraps any target and times every operation into the
+	// recorder's phase taxonomy.
+	MeasuredTarget = target.Measured
+)
+
+// NewRecorder builds an observability recorder.
+func NewRecorder(o RecorderOptions) *Recorder { return obsv.New(o) }
+
+// NewMeasuredTarget wraps ops so every target operation is timed into rec.
+func NewMeasuredTarget(ops TargetOperations, rec *Recorder) *MeasuredTarget {
+	return target.NewMeasured(ops, rec)
+}
+
+// MeasuredTargetFactory wraps every target a factory mints with timing —
+// pair it with Runner.Factory for instrumented parallel campaigns.
+func MeasuredTargetFactory(inner TargetFactory, rec *Recorder) TargetFactory {
+	return target.MeasuredFactory(inner, rec)
+}
+
+// ParseMetrics reads a WriteMetrics JSON dump back in.
+func ParseMetrics(r io.Reader) (MetricsSnapshot, error) { return obsv.ParseSnapshot(r) }

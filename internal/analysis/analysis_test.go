@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -462,5 +463,159 @@ func TestTaxonomyEdgeCases(t *testing.T) {
 	}
 	if rep2.Counts[OutcomeOverwritten] != 1 {
 		t.Fatalf("matching-timeout outcome = %v", rep2.Counts)
+	}
+}
+
+// TestClassifyMixedRows drives Classify over campaigns that mix ordinary
+// outcomes with the robustness-layer row shapes the engine can log: watchdog
+// hangs, tool-level failures (the retry budget exhausted), and detail-mode
+// reruns linked to a parent. Each case pins how those rows enter — or stay
+// out of — the §3.4 report.
+func TestClassifyMixedRows(t *testing.T) {
+	sv := func(chainByte byte, memVal uint32) []byte {
+		v := &core.StateVector{
+			Chains: []core.ChainState{{Name: "c", Bits: 8, Data: []byte{chainByte}}},
+			Memory: []core.MemWord{{Addr: 0x10, Value: memVal}},
+			Env:    [][]uint32{{1}},
+		}
+		return v.Encode()
+	}
+	refSV := sv(0xAA, 7)
+	type row struct {
+		name, reason, mech, parent string
+		sv                         []byte
+	}
+	cases := []struct {
+		label        string
+		rows         []row
+		wantTotal    int
+		wantFailed   int
+		wantCounts   map[string]int
+		wantAnalysis int // stored AnalysisResult rows
+	}{
+		{
+			label: "hang rows escape",
+			rows: []row{
+				{name: "e0000", reason: core.TermHang, sv: nil}, // hangs carry no usable state
+				{name: "e0001", reason: "workload-end", sv: refSV},
+			},
+			wantTotal:  2,
+			wantCounts: map[string]int{OutcomeEscaped: 1, OutcomeOverwritten: 1},
+			// A hang must classify WITHOUT decoding its (empty) state vector.
+			wantAnalysis: 2,
+		},
+		{
+			label: "failed rows counted apart, excluded from Total",
+			rows: []row{
+				{name: "e0000", reason: core.TermFailed, sv: nil},
+				{name: "e0001", reason: core.TermFailed, sv: nil},
+				{name: "e0002", reason: "workload-end", sv: sv(0xAB, 7)},
+			},
+			wantTotal:    1,
+			wantFailed:   2,
+			wantCounts:   map[string]int{OutcomeLatent: 1},
+			wantAnalysis: 1,
+		},
+		{
+			label: "detail reruns skipped via parent link",
+			rows: []row{
+				{name: "e0000", reason: "workload-end", sv: sv(0xAA, 9)},
+				{name: "e0000/detail", reason: "workload-end", parent: "e0000", sv: sv(0xAA, 9)},
+				{name: "ref/detail", reason: "workload-end", parent: "ref", sv: refSV},
+			},
+			wantTotal:    1,
+			wantCounts:   map[string]int{OutcomeEscaped: 1},
+			wantAnalysis: 1,
+		},
+		{
+			label: "full mixture",
+			rows: []row{
+				{name: "e0000", reason: "detected", mech: "access-violation", sv: sv(0, 0)},
+				{name: "e0001", reason: core.TermHang, sv: nil},
+				{name: "e0002", reason: core.TermFailed, sv: nil},
+				{name: "e0003", reason: "workload-end", sv: refSV},
+				{name: "e0003/detail", reason: "workload-end", parent: "e0003", sv: refSV},
+			},
+			wantTotal:  3,
+			wantFailed: 1,
+			wantCounts: map[string]int{
+				OutcomeDetected: 1, OutcomeEscaped: 1, OutcomeOverwritten: 1,
+			},
+			wantAnalysis: 3,
+		},
+	}
+	for i, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			store, err := dbase.NewMemoryStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.PutTargetSystem(dbase.TargetSystem{TestCardName: "t", MemSize: 64, ROMSize: 4}); err != nil {
+				t.Fatal(err)
+			}
+			camp := fmt.Sprintf("mix%d", i)
+			if err := store.PutCampaign(dbase.CampaignRow{
+				CampaignName: camp, TestCardName: "t", Workload: "bubblesort",
+				Technique: "scifi", FaultModel: "transient", LocationFilter: "x",
+				NExperiments: len(tc.rows),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.PutExperiment(dbase.ExperimentRow{
+				ExperimentName: camp + core.RefSuffix, CampaignName: camp,
+				ExperimentData:    "plan=[] injected=0/0",
+				TerminationReason: "workload-end", StateVector: refSV,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range tc.rows {
+				parent := r.parent
+				if parent != "" {
+					parent = camp + "/" + parent
+				}
+				if err := store.PutExperiment(dbase.ExperimentRow{
+					ExperimentName: camp + "/" + r.name, CampaignName: camp,
+					ParentExperiment: parent, ExperimentData: "plan=[] injected=0/0",
+					TerminationReason: r.reason, Mechanism: r.mech, StateVector: r.sv,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := Classify(store, camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Total != tc.wantTotal {
+				t.Errorf("Total = %d, want %d", rep.Total, tc.wantTotal)
+			}
+			if rep.Failed != tc.wantFailed {
+				t.Errorf("Failed = %d, want %d", rep.Failed, tc.wantFailed)
+			}
+			for k, v := range tc.wantCounts {
+				if rep.Counts[k] != v {
+					t.Errorf("Counts[%s] = %d, want %d", k, rep.Counts[k], v)
+				}
+			}
+			sum := 0
+			for _, v := range rep.Counts {
+				sum += v
+			}
+			if sum != tc.wantTotal {
+				t.Errorf("counts sum %d != Total %d: %v", sum, tc.wantTotal, rep.Counts)
+			}
+			rows, err := store.AnalysisResults(camp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != tc.wantAnalysis {
+				t.Errorf("stored analysis rows = %d, want %d", len(rows), tc.wantAnalysis)
+			}
+			for _, r := range rows {
+				if strings.HasSuffix(r.ExperimentName, core.DetailSuffix) ||
+					strings.HasSuffix(r.ExperimentName, core.RefSuffix) {
+					t.Errorf("special row classified: %q", r.ExperimentName)
+				}
+			}
+		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"goofi/internal/faultmodel"
+	"goofi/internal/obsv"
 	"goofi/internal/target"
 	"goofi/internal/trigger"
 )
@@ -51,8 +52,11 @@ func finish(ops target.Operations, c Campaign, plan faultmodel.Plan, injected in
 
 // injectScan applies scan-domain injections: readScanChain → flip/force →
 // writeScanChain, grouped per chain so simultaneous multi-bit faults in one
-// chain need a single shift sequence.
+// chain need a single shift sequence. When ops is instrumented
+// (target.Measured), the whole read-modify-write appears as an "inject"
+// group span in the trace; the scan shifts inside it are the leaf phases.
 func injectScan(ops target.Operations, injs []faultmodel.Injection) error {
+	defer obsv.GroupOf(ops, "inject").End()
 	byChain := map[string][]faultmodel.Injection{}
 	var order []string
 	for _, inj := range injs {
@@ -85,6 +89,7 @@ func injectScan(ops target.Operations, injs []faultmodel.Injection) error {
 
 // injectMemory applies memory-domain injections through the test-card port.
 func injectMemory(ops target.Operations, injs []faultmodel.Injection) error {
+	defer obsv.GroupOf(ops, "inject").End()
 	for _, inj := range injs {
 		vals, err := ops.ReadMemory(inj.Loc.Addr, 1)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"goofi/internal/dbase"
 	"goofi/internal/faultmodel"
+	"goofi/internal/obsv"
 	"goofi/internal/target"
 )
 
@@ -128,6 +129,13 @@ type Runner struct {
 	// parallel alike).
 	Factory target.Factory
 
+	// Recorder, when set, collects engine-level observability: plan drawing,
+	// retry backoff and store-flush phases, per-experiment trace spans, and
+	// the campaign counters/wall-clock. nil disables it at zero cost. Pair it
+	// with a target.Measured wrapper (same recorder) to cover the
+	// target-operation phases too.
+	Recorder *obsv.Recorder
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	paused  bool
@@ -243,8 +251,9 @@ func (r *Runner) runAttempt(ops target.Operations, tech technique, plan faultmod
 // exponential backoff and full target re-init after transient faults, a hang
 // verdict when the watchdog fires, and a permanent error otherwise. Retries
 // reuse the already-drawn plan, so the campaign's seeded plan stream is never
-// consumed by fault tolerance.
-func (r *Runner) runExperiment(ops target.Operations, tech technique, plan faultmodel.Plan, idx int) runOutcome {
+// consumed by fault tolerance. tid is the virtual thread the experiment's
+// engine-level spans are recorded under (0 = sequential/coordinator).
+func (r *Runner) runExperiment(ops target.Operations, tech technique, plan faultmodel.Plan, idx int, tid int32) runOutcome {
 	c := r.campaign
 	var out runOutcome
 	for attempt := 0; ; attempt++ {
@@ -274,7 +283,9 @@ func (r *Runner) runExperiment(ops target.Operations, tech technique, plan fault
 			if shift > 6 {
 				shift = 6 // cap the exponential curve, not the retry count
 			}
+			sp := r.Recorder.Begin(obsv.PhaseRetry, tid)
 			time.Sleep(c.RetryBackoff << shift)
+			sp.End()
 		}
 		// Full power-up reset before the retry: a glitching target starts
 		// the next attempt from a clean slate. A transient re-init failure
@@ -306,23 +317,36 @@ func (r *Runner) mintReplacement() (target.Operations, error) {
 // ctx stops the campaign between experiments.
 func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	c := r.campaign
+	start := time.Now()
+	defer func() { r.Recorder.SetWallClock(time.Since(start)) }()
+	r.Recorder.SetGauge("campaign.workers", int64(max(c.Workers, 1)))
 	// Power up the test card first: campaign validation resolves location
 	// filters against the live chain inventory.
 	if err := r.ops.InitTestCard(); err != nil {
 		return Summary{}, err
 	}
+	// Campaign setup — validation, location resolution, the campaign row —
+	// is accounted as target-init: it is one-time preparation, and the span
+	// starts after InitTestCard so a Measured target's own init phase is not
+	// double-counted.
+	ssp := r.Recorder.Begin(obsv.PhaseInit, 0)
 	if err := c.Validate(r.ops); err != nil {
+		ssp.End()
 		return Summary{}, err
 	}
 	tech, err := techniqueFor(c.Technique)
 	if err != nil {
+		ssp.End()
 		return Summary{}, err
 	}
 	locs, err := c.LocationFilter.Resolve(r.ops)
 	if err != nil {
+		ssp.End()
 		return Summary{}, err
 	}
-	if err := r.ensureCampaignRow(); err != nil {
+	err = r.ensureCampaignRow()
+	ssp.End()
+	if err != nil {
 		return Summary{}, err
 	}
 
@@ -361,7 +385,9 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	// One prefix-scan of the campaign's logged experiments answers every
 	// resume question below: a store failure is propagated rather than
 	// treated as "nothing logged", which would re-run completed work.
+	rsp := r.Recorder.Begin(obsv.PhaseInit, 0)
 	logged, err := r.store.ExperimentNames(c.Name)
+	rsp.End()
 	if err != nil {
 		return Summary{}, err
 	}
@@ -373,7 +399,9 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	// reference enjoys the same retry protection as experiments, but a hang
 	// or exhausted budget aborts — the campaign is meaningless without it.
 	if !logged[c.Name+RefSuffix] {
-		out := r.runExperiment(r.ops, tech, faultmodel.Plan{}, refIndex)
+		gsp := r.Recorder.BeginGroup("reference", 0)
+		out := r.runExperiment(r.ops, tech, faultmodel.Plan{}, refIndex, 0)
+		gsp.End()
 		sum.Retries += out.retries
 		switch {
 		case out.err != nil:
@@ -398,6 +426,9 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 	rng := rand.New(rand.NewSource(c.Seed))
 	for i := 0; i < c.NExperiments; i++ {
 		if err := r.checkpoint(); err != nil {
+			// Final tick on Stop/ctx-cancel: the progress consumer must see
+			// the true completed count, not the last pre-stop snapshot.
+			r.report(r.progress(&sum, sum.Completed+sum.Skipped, c.NExperiments, "stopped"))
 			return sum, err
 		}
 		planFn := c.Model.Plan
@@ -407,21 +438,29 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		// The plan is drawn even for experiments that are skipped on
 		// resume, keeping the PRNG stream aligned so a resumed campaign is
 		// bit-identical to an uninterrupted one.
+		psp := r.Recorder.Begin(obsv.PhasePlan, 0)
 		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
+		psp.End()
 		if err != nil {
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
 			sum.Skipped++
+			r.Recorder.Count("experiments.skipped", 1)
 			continue
 		}
-		out := r.runExperiment(ops, tech, plan, i)
+		gsp := r.Recorder.BeginGroup(name, 0)
+		out := r.runExperiment(ops, tech, plan, i, 0)
+		gsp.End()
 		sum.Retries += out.retries
 		if out.err != nil {
 			return sum, fmt.Errorf("core: experiment %d: %w", i, out.err)
 		}
-		if err := r.store.PutExperiment(r.outcomeRow(name, "", out)); err != nil {
+		fsp := r.Recorder.Begin(obsv.PhaseFlush, 0)
+		err = r.store.PutExperiment(r.outcomeRow(name, "", out))
+		fsp.End()
+		if err != nil {
 			return sum, err
 		}
 		label := r.accountOutcome(&sum, out)
@@ -454,13 +493,17 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 // returns its progress label.
 func (r *Runner) accountOutcome(sum *Summary, out runOutcome) string {
 	sum.Completed++
+	r.Recorder.Count("experiments.completed", 1)
+	r.Recorder.Count("experiments.retries", int64(out.retries))
 	switch {
 	case out.hung:
 		sum.Hangs++
 		sum.Terminations[TermHang]++
+		r.Recorder.Count("experiments.hangs", 1)
 		return TermHang
 	case out.failed:
 		sum.Terminations[TermFailed]++
+		r.Recorder.Count("experiments.failed", 1)
 		return TermFailed
 	}
 	sum.Terminations[out.exp.Term.Reason.String()]++
@@ -550,21 +593,25 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		planFn = r.PlanFunc
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
+	psp := r.Recorder.Begin(obsv.PhasePlan, 0)
 	jobs := make([]parallelJob, 0, c.NExperiments)
 	for i := 0; i < c.NExperiments; i++ {
 		// Drawn even for experiments skipped on resume, exactly like the
 		// sequential loop: the stream stays aligned.
 		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
 		if err != nil {
+			psp.End()
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
 			sum.Skipped++
+			r.Recorder.Count("experiments.skipped", 1)
 			continue
 		}
 		jobs = append(jobs, parallelJob{idx: i, name: name, plan: plan})
 	}
+	psp.End()
 
 	workers := c.Workers
 	if workers > len(jobs) {
@@ -599,9 +646,11 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		}
 	}
 	var wg sync.WaitGroup
-	for _, ops := range targets {
+	for w, ops := range targets {
 		wg.Add(1)
-		go func(ops target.Operations) {
+		// Worker w records under virtual thread w+1; tid 0 belongs to the
+		// coordinator (planning, logging, the reference run).
+		go func(ops target.Operations, tid int32) {
 			defer wg.Done()
 			// When the last worker retires, dispatch must halt too or the
 			// dispatcher would block forever on an unclaimed jobCh send.
@@ -611,9 +660,12 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 				}
 			}()
 			setup(ops)
+			tagWorker(ops, tid)
 			for j := range jobCh {
 				res := parallelResult{idx: j.idx, name: j.name}
-				res.out = r.runExperiment(ops, tech, j.plan, j.idx)
+				gsp := r.Recorder.BeginGroup(j.name, tid)
+				res.out = r.runExperiment(ops, tech, j.plan, j.idx, tid)
+				gsp.End()
 				if res.out.hung || res.out.failed {
 					// Quarantine: the target wedged (and is still owned by
 					// the abandoned attempt goroutine) or glitched through
@@ -627,11 +679,12 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 						return
 					}
 					ops = nops
+					tagWorker(ops, tid)
 				}
 				resCh <- res
 			}
 			ops.SetDetailMode(false)
-		}(ops)
+		}(ops, int32(w+1))
 	}
 	go func() {
 		wg.Wait()
@@ -670,6 +723,8 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		if len(pending) == 0 {
 			return
 		}
+		fsp := r.Recorder.Begin(obsv.PhaseFlush, 0)
+		defer fsp.End()
 		var err error
 		for attempt := 0; ; attempt++ {
 			if err = r.store.PutExperiments(pending); err == nil {
@@ -694,6 +749,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		sum.Retries += res.out.retries
 		if res.quarantined {
 			sum.Quarantined++
+			r.Recorder.Count("experiments.quarantined", 1)
 		}
 		if res.workerLost {
 			workersLost++
@@ -743,6 +799,10 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		return sum, nil
 	}
 	if received < len(jobs) {
+		// Final tick: after an interrupted campaign the progress consumer
+		// must be left with the true completed count, not the last
+		// completion-order snapshot.
+		r.report(r.progress(&sum, done, c.NExperiments, "stopped"))
 		if workersLost == workers {
 			return sum, fmt.Errorf("core: campaign %s: all %d workers lost their targets (%d quarantined); %d experiments not run",
 				c.Name, workers, sum.Quarantined, len(jobs)-received)
@@ -752,6 +812,14 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		return sum, ErrStopped
 	}
 	return sum, nil
+}
+
+// tagWorker assigns the worker's virtual thread id to instrumented targets
+// (target.Measured); other targets ignore it.
+func tagWorker(ops target.Operations, tid int32) {
+	if t, ok := ops.(interface{ SetWorkerID(int32) }); ok {
+		t.SetWorkerID(tid)
+	}
 }
 
 // ensureCampaignRow stores the CampaignData row, tolerating an identical

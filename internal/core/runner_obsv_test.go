@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"goofi/internal/obsv"
+	"goofi/internal/target"
+)
+
+// TestRunnerInstrumentedSequential runs a small campaign with the full
+// observability stack and checks the acceptance property: the leaf phases
+// partition the run, so their durations sum to (at most, and most of) the
+// campaign wall-clock.
+func TestRunnerInstrumentedSequential(t *testing.T) {
+	rec := obsv.New(obsv.Options{Trace: true})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	ops := target.NewMeasured(thor, rec)
+	c := scifiCampaign("obs1", 6)
+	r := NewRunner(ops, store, c)
+	r.Recorder = rec
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 6 {
+		t.Fatalf("completed = %d", sum.Completed)
+	}
+
+	snap := rec.Snapshot()
+	if snap.WallClockNs <= 0 {
+		t.Fatal("wall clock not recorded")
+	}
+	phaseSum := snap.PhaseSumNs()
+	if phaseSum <= 0 || phaseSum > snap.WallClockNs {
+		t.Fatalf("phase sum %d vs wall %d: leaf phases must not overlap", phaseSum, snap.WallClockNs)
+	}
+	// The engine + measured target cover everything but cheap glue: the
+	// instrumented fraction must dominate the run (acceptance asks for 95%;
+	// leave headroom for scheduler noise on a short run).
+	if frac := float64(phaseSum) / float64(snap.WallClockNs); frac < 0.80 {
+		t.Errorf("instrumented fraction = %.2f, want >= 0.80", frac)
+	}
+	if snap.Counters["experiments.completed"] != 6 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Counters["store.calls"] == 0 || snap.Counters["store.rows"] == 0 {
+		t.Fatalf("store counters missing: %+v", snap.Counters)
+	}
+
+	// The trace must be valid Chrome trace JSON containing experiment
+	// groups, inject groups and leaf phases.
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf obsv.TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		names[e.Name]++
+	}
+	for _, want := range []string{"reference", "obs1/e0000", "inject", "workload", "scan-in", "scan-out", "store-flush", "plan"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q events (have %v)", want, names)
+		}
+	}
+}
+
+// TestRunnerInstrumentedParallel checks worker-threaded tracing: every
+// worker records under its own tid and experiment groups land on worker
+// threads, while coordinator phases stay on tid 0.
+func TestRunnerInstrumentedParallel(t *testing.T) {
+	rec := obsv.New(obsv.Options{Trace: true})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	c := scifiCampaign("obsp", 8)
+	c.Workers = 3
+	r := NewRunner(target.NewMeasured(thor, rec), store, c)
+	r.Recorder = rec
+	r.Factory = target.MeasuredFactory(target.DefaultThorFactory(), rec)
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 8 {
+		t.Fatalf("completed = %d", sum.Completed)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf obsv.TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	workerTids := map[int32]bool{}
+	for _, e := range tf.TraceEvents {
+		if e.Tid > 0 {
+			workerTids[e.Tid] = true
+		}
+		if e.Name == "plan" && e.Tid != 0 {
+			t.Errorf("plan phase on tid %d, want coordinator", e.Tid)
+		}
+		if e.Name == "store-flush" && e.Tid != 0 {
+			t.Errorf("flush phase on tid %d, want coordinator", e.Tid)
+		}
+	}
+	if len(workerTids) < 2 {
+		t.Errorf("worker tids = %v, want several", workerTids)
+	}
+	if rec.Snapshot().Gauges["campaign.workers"] != 3 {
+		t.Errorf("workers gauge = %d", rec.Snapshot().Gauges["campaign.workers"])
+	}
+}
+
+// TestRunnerNilRecorder pins that an uninstrumented campaign still runs
+// identically (the Recorder field defaults to nil everywhere else in the
+// test suite, so this is mostly documentation).
+func TestRunnerNilRecorder(t *testing.T) {
+	thor, store := newEnv(t)
+	r := NewRunner(thor, store, scifiCampaign("obsnil", 2))
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialStopDeliversFinalTick: a stopped sequential campaign must
+// deliver one last Progress event carrying the true completed count, so a
+// progress consumer is never left with a stale mid-campaign snapshot.
+func TestSequentialStopDeliversFinalTick(t *testing.T) {
+	thor, store := newEnv(t)
+	c := scifiCampaign("stopseq", 50)
+	r := NewRunner(thor, store, c)
+	var last Progress
+	stopAfter := 3
+	r.OnProgress = func(p Progress) {
+		last = p
+		if p.Done >= stopAfter && p.LastOutcome != "stopped" {
+			r.Stop()
+		}
+	}
+	_, err := r.Run(context.Background())
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if last.LastOutcome != "stopped" {
+		t.Fatalf("final tick = %+v, want LastOutcome=stopped", last)
+	}
+	exps, err := store.ExperimentNames(c.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logged rows: ref + Done experiments — the final tick's Done must
+	// agree with what is actually in the store.
+	if got := len(exps) - 1; got != last.Done {
+		t.Fatalf("final Done = %d, store has %d experiments", last.Done, got)
+	}
+}
+
+// TestParallelStopDeliversFinalTick is the worker-pool variant: Stop cuts
+// dispatch short, in-flight work drains, and the last Progress event
+// reflects every logged experiment.
+func TestParallelStopDeliversFinalTick(t *testing.T) {
+	thor, store := newEnv(t)
+	c := scifiCampaign("stoppar", 40)
+	c.Workers = 4
+	r := NewRunner(thor, store, c)
+	r.Factory = target.DefaultThorFactory()
+	var last Progress
+	r.OnProgress = func(p Progress) {
+		last = p
+		if p.Done >= 5 && p.LastOutcome != "stopped" {
+			r.Stop()
+		}
+	}
+	_, err := r.Run(context.Background())
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if last.LastOutcome != "stopped" {
+		t.Fatalf("final tick = %+v, want LastOutcome=stopped", last)
+	}
+	exps, err := store.ExperimentNames(c.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(exps) - 1; got != last.Done {
+		t.Fatalf("final Done = %d, store has %d experiments", last.Done, got)
+	}
+}
+
+// TestContextCancelDeliversFinalTick: cancellation maps to Stop and must
+// flow through the same final-tick contract.
+func TestContextCancelDeliversFinalTick(t *testing.T) {
+	thor, store := newEnv(t)
+	// Enough experiments that the concurrent cancel watcher always lands
+	// before the campaign drains on its own.
+	c := scifiCampaign("stopctx", 500)
+	r := NewRunner(thor, store, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last Progress
+	r.OnProgress = func(p Progress) {
+		last = p
+		if p.Done >= 2 && p.LastOutcome != "stopped" {
+			cancel()
+		}
+	}
+	_, err := r.Run(ctx)
+	if err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	// The cancel watcher runs concurrently; by the time Run returned, the
+	// final tick must have been delivered.
+	if last.LastOutcome != "stopped" {
+		t.Fatalf("final tick = %+v, want LastOutcome=stopped", last)
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"goofi/internal/obsv"
 	"goofi/internal/sqldb"
 )
 
@@ -25,6 +27,34 @@ var ErrNotFound = errors.New("dbase: not found")
 type Store struct {
 	db   *sqldb.DB
 	path string // empty for in-memory stores
+	rec  *obsv.Recorder
+}
+
+// SetRecorder attaches an observability recorder: every campaign-path store
+// call is then timed into a "store.<Op>" latency histogram, with call and
+// row counters alongside. A nil recorder (the default) disables it at zero
+// cost.
+func (s *Store) SetRecorder(rec *obsv.Recorder) { s.rec = rec }
+
+// noopRows is the shared disabled-path closure of timeOp, so an
+// uninstrumented store call allocates nothing.
+var noopRows = func(int) {}
+
+// timeOp starts timing one store call; the returned func records the
+// latency and the number of rows moved. Use as
+// `defer s.timeOp("PutExperiment")(1)` (the timer starts where defer
+// evaluates its operands) or capture it when the row count is only known at
+// the end.
+func (s *Store) timeOp(op string) func(rows int) {
+	if s.rec == nil {
+		return noopRows
+	}
+	start := time.Now()
+	return func(rows int) {
+		s.rec.ObserveSince("store."+op, start)
+		s.rec.Count("store.calls", 1)
+		s.rec.Count("store.rows", int64(rows))
+	}
 }
 
 // schema is the GOOFI schema DDL. Order matters: FK parents first.
@@ -111,6 +141,7 @@ func OpenStore(path string) (*Store, error) {
 
 // Save persists a file-backed store; it is an error on in-memory stores.
 func (s *Store) Save() error {
+	defer s.timeOp("Save")(0)
 	if s.path == "" {
 		return fmt.Errorf("dbase: in-memory store cannot be saved")
 	}
@@ -260,6 +291,7 @@ type CampaignRow struct {
 
 // PutCampaign inserts a campaign definition.
 func (s *Store) PutCampaign(c CampaignRow) error {
+	defer s.timeOp("PutCampaign")(1)
 	_, err := s.db.Exec(
 		"INSERT INTO CampaignData VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
 		sqldb.Text(c.CampaignName), sqldb.Text(c.TestCardName),
@@ -279,6 +311,7 @@ func (s *Store) PutCampaign(c CampaignRow) error {
 
 // GetCampaign fetches a campaign definition.
 func (s *Store) GetCampaign(name string) (CampaignRow, error) {
+	defer s.timeOp("GetCampaign")(1)
 	rows, err := s.db.Query("SELECT * FROM CampaignData WHERE campaignName = ?", sqldb.Text(name))
 	if err != nil {
 		return CampaignRow{}, fmt.Errorf("dbase: %w", err)
@@ -388,6 +421,7 @@ type ExperimentRow struct {
 
 // PutExperiment logs one experiment.
 func (s *Store) PutExperiment(e ExperimentRow) error {
+	defer s.timeOp("PutExperiment")(1)
 	parent := sqldb.Null()
 	if e.ParentExperiment != "" {
 		parent = sqldb.Text(e.ParentExperiment)
@@ -412,6 +446,7 @@ func (s *Store) PutExperiments(rows []ExperimentRow) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	defer s.timeOp("PutExperiments")(len(rows))
 	var sb strings.Builder
 	sb.WriteString("INSERT INTO LoggedSystemState VALUES ")
 	args := make([]sqldb.Value, 0, 9*len(rows))
@@ -443,21 +478,25 @@ func (s *Store) PutExperiments(rows []ExperimentRow) error {
 // experiment names are campaign-prefixed ("<campaign>/eNNNN"), so the
 // campaign-scoped listing answers exactly the same question.
 func (s *Store) ExperimentNames(campaign string) (map[string]bool, error) {
+	done := s.timeOp("ExperimentNames")
 	rows, err := s.db.Query(
 		"SELECT experimentName FROM LoggedSystemState WHERE campaignName = ?",
 		sqldb.Text(campaign))
 	if err != nil {
+		done(0)
 		return nil, fmt.Errorf("dbase: %w", err)
 	}
 	out := make(map[string]bool, rows.Len())
 	for _, r := range rows.Data {
 		out[r[0].Text] = true
 	}
+	done(len(out))
 	return out, nil
 }
 
 // GetExperiment fetches one logged experiment.
 func (s *Store) GetExperiment(name string) (ExperimentRow, error) {
+	defer s.timeOp("GetExperiment")(1)
 	rows, err := s.db.Query("SELECT * FROM LoggedSystemState WHERE experimentName = ?", sqldb.Text(name))
 	if err != nil {
 		return ExperimentRow{}, fmt.Errorf("dbase: %w", err)
@@ -470,16 +509,19 @@ func (s *Store) GetExperiment(name string) (ExperimentRow, error) {
 
 // Experiments returns every logged experiment of a campaign in name order.
 func (s *Store) Experiments(campaign string) ([]ExperimentRow, error) {
+	done := s.timeOp("Experiments")
 	rows, err := s.db.Query(
 		"SELECT * FROM LoggedSystemState WHERE campaignName = ? ORDER BY experimentName",
 		sqldb.Text(campaign))
 	if err != nil {
+		done(0)
 		return nil, fmt.Errorf("dbase: %w", err)
 	}
 	out := make([]ExperimentRow, 0, rows.Len())
 	for _, r := range rows.Data {
 		out = append(out, experimentFromRow(r))
 	}
+	done(len(out))
 	return out, nil
 }
 
@@ -513,6 +555,7 @@ type AnalysisRow struct {
 // PutAnalysis stores classification rows, replacing earlier results for the
 // same experiments.
 func (s *Store) PutAnalysis(rows []AnalysisRow) error {
+	defer s.timeOp("PutAnalysis")(len(rows))
 	for _, r := range rows {
 		if _, err := s.db.Exec("DELETE FROM AnalysisResult WHERE experimentName = ?",
 			sqldb.Text(r.ExperimentName)); err != nil {
@@ -529,10 +572,12 @@ func (s *Store) PutAnalysis(rows []AnalysisRow) error {
 
 // AnalysisResults returns the classification rows of a campaign.
 func (s *Store) AnalysisResults(campaign string) ([]AnalysisRow, error) {
+	done := s.timeOp("AnalysisResults")
 	rows, err := s.db.Query(
 		"SELECT experimentName, campaignName, outcome, mechanism FROM AnalysisResult WHERE campaignName = ? ORDER BY experimentName",
 		sqldb.Text(campaign))
 	if err != nil {
+		done(0)
 		return nil, fmt.Errorf("dbase: %w", err)
 	}
 	out := make([]AnalysisRow, 0, rows.Len())
@@ -544,6 +589,7 @@ func (s *Store) AnalysisResults(campaign string) ([]AnalysisRow, error) {
 			Mechanism:      r[3].Text,
 		})
 	}
+	done(len(out))
 	return out, nil
 }
 

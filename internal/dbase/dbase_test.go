@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"goofi/internal/obsv"
 )
 
 func newStore(t *testing.T) *Store {
@@ -447,5 +449,72 @@ func TestPutExperimentsBatch(t *testing.T) {
 	}}
 	if err := s.PutExperiments(bad); err == nil {
 		t.Fatal("batched insert with a dangling campaign FK should fail")
+	}
+}
+
+// TestStoreRecorder: with a recorder attached, every campaign-path call is
+// timed into a store.<Op> histogram with call/row counters; without one the
+// store behaves identically.
+func TestStoreRecorder(t *testing.T) {
+	s := newStore(t)
+	rec := obsv.New(obsv.Options{})
+	s.SetRecorder(rec)
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(sampleCampaign("rc")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetCampaign("rc"); err != nil {
+		t.Fatal(err)
+	}
+	rows := []ExperimentRow{
+		{ExperimentName: "rc/e0000", CampaignName: "rc", TerminationReason: "workload-end"},
+		{ExperimentName: "rc/e0001", CampaignName: "rc", TerminationReason: "detected"},
+	}
+	if err := s.PutExperiments(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutExperiment(ExperimentRow{ExperimentName: "rc/e0002", CampaignName: "rc"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExperimentNames("rc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Experiments("rc"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := rec.Snapshot()
+	hists := map[string]obsv.HistogramStats{}
+	for _, h := range snap.Histograms {
+		hists[h.Name] = h
+	}
+	for name, wantCount := range map[string]int64{
+		"store.PutCampaign":     1,
+		"store.GetCampaign":     1,
+		"store.PutExperiments":  1,
+		"store.PutExperiment":   1,
+		"store.ExperimentNames": 1,
+		"store.Experiments":     1,
+	} {
+		if hists[name].Count != wantCount {
+			t.Errorf("%s count = %d, want %d", name, hists[name].Count, wantCount)
+		}
+	}
+	if snap.Counters["store.calls"] != 6 {
+		t.Errorf("store.calls = %d", snap.Counters["store.calls"])
+	}
+	// Rows moved: 1 campaign put + 1 get + 2 batch + 1 single + 3 names + 3 reads.
+	if snap.Counters["store.rows"] != 11 {
+		t.Errorf("store.rows = %d", snap.Counters["store.rows"])
+	}
+
+	// An empty batch is a no-op and must not count as a call.
+	if err := s.PutExperiments(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot().Counters["store.calls"] != 6 {
+		t.Error("empty batch counted as a store call")
 	}
 }

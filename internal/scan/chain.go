@@ -25,10 +25,11 @@ type Field struct {
 // Chain is a named scan chain: an ordered sequence of fields forming one
 // shift register through the device.
 type Chain struct {
-	name    string
-	fields  []Field
-	offsets []int // bit offset of each field
-	length  int
+	name     string
+	fields   []Field
+	offsets  []int // bit offset of each field
+	length   int
+	writable []int // writable bit indices, fixed at construction
 }
 
 // NewChain validates the fields and assembles a chain.
@@ -58,6 +59,14 @@ func NewChain(name string, fields []Field) (*Chain, error) {
 		c.offsets = append(c.offsets, c.length)
 		c.fields = append(c.fields, f)
 		c.length += f.Width
+	}
+	for i, f := range c.fields {
+		if f.ReadOnly || f.Set == nil {
+			continue
+		}
+		for b := 0; b < f.Width; b++ {
+			c.writable = append(c.writable, c.offsets[i]+b)
+		}
 	}
 	return c, nil
 }
@@ -169,16 +178,11 @@ func (c *Chain) ParseBitName(name string) (int, error) {
 }
 
 // WritableBits returns the chain indices of every bit belonging to a
-// writable field — the legal fault-injection locations of this chain.
+// writable field — the legal fault-injection locations of this chain. The
+// topology is fixed at construction, so the slice is computed once and
+// shared: callers must treat it as read-only. (State capture fetches the
+// chain inventory once per experiment; rebuilding this list there used to
+// dominate the engine's un-instrumented glue time.)
 func (c *Chain) WritableBits() []int {
-	var out []int
-	for i, f := range c.fields {
-		if f.ReadOnly || f.Set == nil {
-			continue
-		}
-		for b := 0; b < f.Width; b++ {
-			out = append(out, c.offsets[i]+b)
-		}
-	}
-	return out
+	return c.writable
 }

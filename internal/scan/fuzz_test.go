@@ -1,0 +1,62 @@
+package scan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBitsPackUnpack pins the Pack/Unpack byte-encoding contract from both
+// directions: a length-mismatched buffer is always rejected; a well-sized
+// buffer always unpacks, and repacking yields the same bytes modulo the
+// unused high bits of the final byte (which Unpack masks to keep the
+// in-memory tail-word invariant).
+func FuzzBitsPackUnpack(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0xff, 0x01}, 9)
+	f.Add([]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x11, 0x22, 0x01}, 65)
+	f.Add([]byte{0x80}, 8)
+	f.Add([]byte{0xff}, 3) // junk in unused tail bits
+	f.Add([]byte{1, 2, 3}, 9)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			t.Skip()
+		}
+		b, err := Unpack(data, n)
+		if len(data) != (n+7)/8 {
+			if err == nil {
+				t.Fatalf("Unpack(%d bytes, n=%d) accepted a mis-sized buffer", len(data), n)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Unpack(%d bytes, n=%d): %v", len(data), n, err)
+		}
+		if b.Len() != n {
+			t.Fatalf("unpacked length %d, want %d", b.Len(), n)
+		}
+		repacked := b.Pack()
+		want := append([]byte(nil), data...)
+		if r := n % 8; r != 0 && len(want) > 0 {
+			want[len(want)-1] &= byte(1<<uint(r)) - 1
+		}
+		if !bytes.Equal(repacked, want) {
+			t.Fatalf("Pack(Unpack(data)) = %x, want %x (n=%d)", repacked, want, n)
+		}
+		// A second cycle must be an exact fixed point, bit-for-bit.
+		b2, err := Unpack(repacked, n)
+		if err != nil {
+			t.Fatalf("re-Unpack: %v", err)
+		}
+		if !b2.Equal(b) {
+			t.Fatalf("re-unpacked vector differs (n=%d)", n)
+		}
+		// The packed-domain diff of identical encodings is zero, and against
+		// the all-zero vector it equals the population count.
+		if d := PackedOnesCountDiff(repacked, repacked); d != 0 {
+			t.Fatalf("self-diff = %d", d)
+		}
+		if d := PackedOnesCountDiff(repacked, NewBits(n).Pack()); d != b.OnesCount() {
+			t.Fatalf("diff vs zero = %d, OnesCount = %d", d, b.OnesCount())
+		}
+	})
+}
