@@ -1,7 +1,8 @@
 # CI entry points for the GOOFI reproduction. `make ci` is what every PR
-# must keep green: vet, build, the full test suite, the race-checked core
-# and scan packages (the concurrent campaign runner and the packed scan
-# datapath), and a short benchmark smoke run.
+# must keep green: vet, build, the full test suite, the race-checked core,
+# scan and obsv packages (the concurrent campaign runner, the packed scan
+# datapath and the metrics broadcaster), and a short benchmark smoke run
+# that also emits its machine-readable JSON summary.
 
 GO ?= go
 
@@ -9,7 +10,11 @@ GO ?= go
 # a significance test.
 BENCHCOUNT ?= 6
 
-.PHONY: all build vet test race bench benchsmoke cover fuzzsmoke ci
+# Benchmark summary comparison inputs for `make benchdiff`.
+OLD ?= BENCH_old.json
+NEW ?= BENCH_campaign.json
+
+.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke ci
 
 all: ci
 
@@ -23,25 +28,34 @@ test:
 	$(GO) test ./...
 
 # The worker-pool campaign engine lives in internal/core, the packed
-# bitset + TAP fast path in internal/scan, and the chaos/retry taxonomy in
-# internal/target; run all three under the race detector on every change.
+# bitset + TAP fast path in internal/scan, the chaos/retry taxonomy in
+# internal/target, and the concurrent recorder/broadcaster in
+# internal/obsv; run all four under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/obsv/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
-# stats, repeated BENCHCOUNT times. Capture before/after and compare:
-#
-#	make bench > old.txt
-#	... apply change ...
-#	make bench > new.txt
-#	benchstat old.txt new.txt
+# stats, repeated BENCHCOUNT times. The raw text lands in
+# BENCH_campaign.txt (benchstat-compatible) and the averaged
+# machine-readable summary in BENCH_campaign.json. Compare two summaries
+# with `make benchdiff OLD=a.json NEW=b.json` (non-zero exit on any >10%
+# regression). go test writes to a file rather than into a pipe so a
+# benchmark failure fails the target.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCHCOUNT) .
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCHCOUNT) . > BENCH_campaign.txt
+	cat BENCH_campaign.txt
+	$(GO) run ./cmd/goofi-bench -in BENCH_campaign.txt -out BENCH_campaign.json
+
+benchdiff:
+	$(GO) run ./cmd/goofi-bench -diff $(OLD) $(NEW)
 
 # Short benchmark smoke: the parallel campaign sweep plus the injection
 # micro-benchmark, just enough iterations to catch regressions in wiring.
+# Emits BENCH_smoke.json so CI artifacts carry machine-readable numbers.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x -benchmem . > BENCH_smoke.txt
+	cat BENCH_smoke.txt
+	$(GO) run ./cmd/goofi-bench -in BENCH_smoke.txt -out BENCH_smoke.json
 
 # Coverage across every package, with the per-package summary and a total.
 cover:

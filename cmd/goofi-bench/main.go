@@ -1,0 +1,248 @@
+// Command goofi-bench converts `go test -bench` output into a
+// machine-readable JSON summary and compares two such summaries.
+//
+// Convert (each benchmark's repeated samples are averaged):
+//
+//	go test -bench . -benchmem -count 6 . > bench.txt
+//	goofi-bench -in bench.txt -out BENCH_campaign.json
+//
+// Compare, flagging regressions beyond the tolerance (default 10%) with a
+// non-zero exit so CI can gate on it:
+//
+//	goofi-bench -diff old.json new.json [-tolerance 10]
+//
+// The Makefile wires these as `make bench` and `make benchdiff`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark's averaged result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Samples     int     `json:"samples"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// File is the JSON document goofi-bench reads and writes.
+type File struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "goofi-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("goofi-bench", flag.ContinueOnError)
+	in := fs.String("in", "", "go test -bench output to parse ('-' for stdin)")
+	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
+	diff := fs.String("diff", "", "compare this baseline JSON against a second JSON argument")
+	tolerance := fs.Float64("tolerance", 10, "regression threshold for -diff, percent slower/bigger")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *diff != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-diff needs the new summary too: goofi-bench -diff old.json new.json")
+		}
+		return diffFiles(*diff, fs.Arg(0), *tolerance, stdout)
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required (or use -diff)")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("%s contains no benchmark result lines", *in)
+	}
+	doc, err := json.MarshalIndent(File{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		_, err := stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d benchmarks to %s\n", len(benches), *out)
+	return nil
+}
+
+// parseBench extracts benchmark result lines ("BenchmarkX-8  16  123 ns/op
+// 45 B/op  6 allocs/op") and averages repeated samples per name.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	type acc struct {
+		n                 int
+		ns, bytes, allocs float64
+	}
+	byName := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // "Benchmark..." headline without an iteration count
+		}
+		a := byName[fields[0]]
+		if a == nil {
+			a = &acc{}
+			byName[fields[0]] = a
+			order = append(order, fields[0])
+		}
+		a.n++
+		// The remaining fields are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark line %q: %w", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.bytes += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		n := float64(a.n)
+		out = append(out, Benchmark{
+			Name:        name,
+			Samples:     a.n,
+			NsPerOp:     a.ns / n,
+			BytesPerOp:  a.bytes / n,
+			AllocsPerOp: a.allocs / n,
+		})
+	}
+	return out, nil
+}
+
+// diffFiles compares two JSON summaries and reports per-benchmark changes.
+// Any metric more than tolerance percent worse in the new file is flagged as
+// a regression and makes the exit status non-zero.
+func diffFiles(oldPath, newPath string, tolerance float64, w io.Writer) error {
+	oldF, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Benchmark{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var regressions []string
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "change")
+	names := make([]string, 0, len(newF.Benchmarks))
+	newBy := map[string]Benchmark{}
+	for _, b := range newF.Benchmarks {
+		names = append(names, b.Name)
+		newBy[b.Name] = b
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s\n", name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		flag := ""
+		for _, m := range []struct {
+			label    string
+			old, new float64
+		}{
+			{"ns/op", ob.NsPerOp, nb.NsPerOp},
+			{"B/op", ob.BytesPerOp, nb.BytesPerOp},
+			{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp},
+		} {
+			if p := pctChange(m.old, m.new); p > tolerance {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %+.1f%% (%.1f -> %.1f)", name, m.label, p, m.old, m.new))
+				flag = "  REGRESSION"
+			}
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%%%s\n",
+			name, ob.NsPerOp, nb.NsPerOp, pctChange(ob.NsPerOp, nb.NsPerOp), flag)
+	}
+	for name, ob := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s\n", name, ob.NsPerOp, "-", "gone")
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) beyond %.0f%%:\n", len(regressions), tolerance)
+		for _, r := range regressions {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(regressions))
+	}
+	fmt.Fprintf(w, "\nno regressions beyond %.0f%%\n", tolerance)
+	return nil
+}
+
+func loadFile(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+// pctChange is the relative increase of new over old in percent; 0 when old
+// is 0 (nothing meaningful to compare against).
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: goofi
+cpu: Some CPU @ 2.00GHz
+BenchmarkSCIFICampaignParallel/w4-8   	      16	  1000000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkSCIFICampaignParallel/w4-8   	      16	  3000000 ns/op	    4096 B/op	      12 allocs/op
+BenchmarkInjectionScanVsMemory-8      	     100	    50000 ns/op	     128 B/op	       3 allocs/op
+PASS
+ok  	goofi	1.234s
+`
+
+func TestParseBenchAverages(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkSCIFICampaignParallel/w4-8" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Samples != 2 {
+		t.Errorf("samples = %d, want 2", b.Samples)
+	}
+	if b.NsPerOp != 2000000 {
+		t.Errorf("ns/op = %v, want mean 2000000", b.NsPerOp)
+	}
+	if b.BytesPerOp != 3072 {
+		t.Errorf("B/op = %v, want mean 3072", b.BytesPerOp)
+	}
+	if b.AllocsPerOp != 12 {
+		t.Errorf("allocs/op = %v, want 12", b.AllocsPerOp)
+	}
+	if benches[1].Name != "BenchmarkInjectionScanVsMemory-8" || benches[1].NsPerOp != 50000 {
+		t.Errorf("second benchmark = %+v", benches[1])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	benches, err := parseBench(strings.NewReader("PASS\nok  \tgoofi\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(benches))
+	}
+}
+
+func TestRunConvertWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-in", in, "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("JSON has %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	for _, b := range f.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			t.Errorf("incomplete record %+v", b)
+		}
+	}
+}
+
+func writeSummary(t *testing.T, path string, benches []Benchmark) {
+	t.Helper()
+	raw, err := json.Marshal(File{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeSummary(t, oldPath, []Benchmark{
+		{Name: "BenchmarkA-8", Samples: 1, NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 5},
+		{Name: "BenchmarkB-8", Samples: 1, NsPerOp: 1000, BytesPerOp: 100, AllocsPerOp: 5},
+	})
+	writeSummary(t, newPath, []Benchmark{
+		{Name: "BenchmarkA-8", Samples: 1, NsPerOp: 1500, BytesPerOp: 100, AllocsPerOp: 5}, // +50% ns/op
+		{Name: "BenchmarkB-8", Samples: 1, NsPerOp: 1050, BytesPerOp: 100, AllocsPerOp: 5}, // +5%: within tolerance
+	})
+
+	var buf bytes.Buffer
+	err := run([]string{"-diff", oldPath, newPath}, &buf)
+	if err == nil {
+		t.Fatalf("diff with a +50%% regression returned nil error; output:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "BenchmarkA-8") {
+		t.Errorf("diff output does not flag BenchmarkA-8:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkB-8: ns/op") {
+		t.Errorf("diff flagged BenchmarkB-8 which is within tolerance:\n%s", out)
+	}
+}
+
+func TestDiffCleanWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	benches := []Benchmark{{Name: "BenchmarkA-8", Samples: 1, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 2}}
+	writeSummary(t, oldPath, benches)
+	writeSummary(t, newPath, benches)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-diff", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("identical summaries reported a regression: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Errorf("missing all-clear line:\n%s", buf.String())
+	}
+}

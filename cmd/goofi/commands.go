@@ -143,7 +143,8 @@ func cmdRun(args []string) error {
 	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
-	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof on this address during the run, e.g. ":6060"`)
+	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof + /metrics + /campaign/events on this address during the run, e.g. ":6060"`)
+	monitorEvery := fs.Duration("monitor-interval", time.Second, "period of live event frames and persisted interval metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -188,22 +189,31 @@ func cmdRun(args []string) error {
 	// The recorder wraps outermost — around any chaos layer — so measured
 	// phase times include the chaos delays the engine actually experienced.
 	var rec *goofi.Recorder
+	var events *goofi.Broadcaster
 	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
 		rec = goofi.NewRecorder(goofi.RecorderOptions{Trace: *traceOut != ""})
 		db.SetRecorder(rec)
 		ops = goofi.NewMeasuredTarget(ops, rec)
 		factory = goofi.MeasuredTargetFactory(factory, rec)
 		if *debugAddr != "" {
-			addr, err := startDebugServer(*debugAddr, rec)
+			events = goofi.NewBroadcaster()
+			addr, err := startDebugServer(*debugAddr, rec, events)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+			logger.Info("debug server started",
+				"vars", "http://"+addr+"/debug/vars",
+				"metrics", "http://"+addr+"/metrics",
+				"events", "http://"+addr+"/campaign/events",
+				"watch", "goofi watch "+addr)
 		}
 	}
 	r := goofi.NewRunner(ops, db, c)
 	r.Factory = factory
 	r.Recorder = rec
+	r.Events = events
+	r.MonitorInterval = *monitorEvery
+	r.Logger = logger
 	if !*quiet {
 		r.OnProgress = func(p goofi.Progress) {
 			extra := ""
@@ -225,15 +235,15 @@ func cmdRun(args []string) error {
 		// A stopped campaign still saved its completed experiments — and its
 		// partial metrics/trace are exactly what a post-mortem wants.
 		if oerr := writeObsv(rec, *metricsOut, *traceOut); oerr != nil {
-			fmt.Fprintln(os.Stderr, "goofi: observability output:", oerr)
+			logger.Error("observability output failed", "err", oerr)
 		}
 		if saveErr := db.Save(); saveErr != nil {
 			return saveErr
 		}
 		if errors.Is(err, goofi.ErrStopped) {
-			done := sum.Skipped + sum.Completed
-			fmt.Printf("campaign %q stopped at %d/%d experiments; re-run the same command to resume\n",
-				sum.Campaign, done, c.NExperiments)
+			logger.Warn("campaign stopped; re-run the same command to resume",
+				"campaign", sum.Campaign,
+				"done", sum.Skipped+sum.Completed, "total", c.NExperiments)
 		}
 		return err
 	}

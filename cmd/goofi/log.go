@@ -1,0 +1,47 @@
+// Structured diagnostics for the CLI. Primary command output — reports,
+// tables, the progress bar — stays on stdout; everything diagnostic (debug
+// server address, written artefacts, engine warnings) goes through log/slog
+// to stderr, so scripts can consume stdout while operators watch stderr.
+// The global -log-level and -log-json flags precede the subcommand:
+//
+//	goofi -log-level debug -log-json run -db camp.db -campaign c1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// logger is the CLI's diagnostic logger; setupLogging reconfigures it from
+// the global flags before the subcommand dispatch.
+var logger = newLogger(os.Stderr, slog.LevelInfo, false)
+
+func newLogger(w io.Writer, level slog.Level, jsonOut bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// setupLogging consumes the global logging flags from the front of args
+// (flag parsing stops at the subcommand, the first non-flag argument) and
+// returns the remaining arguments.
+func setupLogging(args []string) ([]string, error) {
+	fs := flag.NewFlagSet("goofi", flag.ContinueOnError)
+	level := fs.String("log-level", "info", "diagnostic verbosity: debug, info, warn or error")
+	jsonOut := fs.Bool("log-json", false, "emit diagnostics as JSON lines")
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(*level)); err != nil {
+		return nil, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", *level)
+	}
+	logger = newLogger(os.Stderr, l, *jsonOut)
+	return fs.Args(), nil
+}

@@ -24,6 +24,10 @@ func main() {
 }
 
 func run(args []string) error {
+	args, err := setupLogging(args)
+	if err != nil {
+		return err
+	}
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -54,6 +58,10 @@ func run(args []string) error {
 		return cmdShow(rest)
 	case "stats":
 		return cmdStats(rest)
+	case "watch":
+		return cmdWatch(rest)
+	case "report":
+		return cmdReport(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -67,6 +75,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `GOOFI — Generic Object-Oriented Fault Injection (Go reproduction)
 
 Usage:
+  goofi [-log-level LEVEL] [-log-json] SUBCOMMAND ...
   goofi configure -db FILE [-desc TEXT]
   goofi setup     -db FILE -campaign NAME -workload W -technique T
                   -locations FILTER [-model M] [-n N] [-seed S]
@@ -75,7 +84,10 @@ Usage:
   goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
                   [-retries N] [-retry-backoff D] [-timeout D] [-chaos SPEC]
                   [-metrics-out FILE] [-trace-out FILE] [-debug-addr ADDR]
-  goofi stats     -metrics FILE
+  goofi stats     -metrics FILE | -diff OLD.json NEW.json
+  goofi watch     HOST:PORT
+  goofi report    -db FILE [-campaigns A,B,...] [-format text|csv|html]
+                  [-o FILE] [-locations=false]
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
   goofi trace     -db FILE -campaign NAME -experiment NAME
   goofi show      -db FILE -experiment NAME
@@ -93,8 +105,15 @@ Locations:   chain:<name>[/<field>] and mem:<lo>-<hi>, comma separated
 Chaos spec:  err=P,panic=P,hang=P[,seed=S][,hangdur=D] — wraps the target in a
              seeded transient-fault injector to exercise retry/quarantine/watchdog
 Observability: -metrics-out dumps per-phase timings and store latency
-             histograms as JSON (render with goofi stats -metrics FILE);
+             histograms as JSON (render with goofi stats -metrics FILE,
+             compare runs with goofi stats -diff OLD NEW);
              -trace-out writes a Chrome trace_event file for chrome://tracing;
-             -debug-addr serves live expvar + pprof during the run
+             -debug-addr serves expvar + pprof + Prometheus /metrics + the
+             /campaign/events live stream during the run (follow it from
+             another terminal with goofi watch HOST:PORT). Runs with
+             -metrics-out or -debug-addr also persist interval and final
+             engine metrics into the CampaignRunMetrics table, which
+             goofi report joins with the analysis results for cross-campaign
+             comparisons. Diagnostics go to stderr via -log-level/-log-json.
 `)
 }

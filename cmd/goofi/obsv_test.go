@@ -121,7 +121,7 @@ func TestCLIRunWithObservability(t *testing.T) {
 func TestCLIDebugServer(t *testing.T) {
 	rec := goofi.NewRecorder(goofi.RecorderOptions{})
 	rec.Count("probe", 3)
-	addr, err := startDebugServer("127.0.0.1:0", rec)
+	addr, err := startDebugServer("127.0.0.1:0", rec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestCLIDebugServer(t *testing.T) {
 	// the already-published expvar and must serve the newest recorder.
 	rec2 := goofi.NewRecorder(goofi.RecorderOptions{})
 	rec2.Count("probe2", 1)
-	if _, err := startDebugServer("127.0.0.1:0", rec2); err != nil {
+	if _, err := startDebugServer("127.0.0.1:0", rec2, nil); err != nil {
 		t.Fatal(err)
 	}
 	resp2, err := http.Get("http://" + addr + "/debug/vars")

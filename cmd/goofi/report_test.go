@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reportDB builds a database with two analysed, metrics-enabled campaigns —
+// the input `goofi report` joins.
+func reportDB(t *testing.T) string {
+	t.Helper()
+	db := dbPath(t)
+	if err := run([]string{"configure", "-db", db}); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Dir(db)
+	for i, name := range []string{"rep-a", "rep-b"} {
+		if err := run([]string{"setup", "-db", db,
+			"-campaign", name, "-workload", "bubblesort",
+			"-technique", "scifi", "-locations", "chain:internal.core",
+			"-n", "25", "-seed", string(rune('1' + i)), "-tmax", "1400"}); err != nil {
+			t.Fatal(err)
+		}
+		// -metrics-out turns the recorder on, which also persists run metrics.
+		if err := run([]string{"run", "-db", db, "-campaign", name, "-quiet",
+			"-metrics-out", filepath.Join(dir, name+".json")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"analyze", "-db", db, "-campaign", name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCLIReport(t *testing.T) {
+	db := reportDB(t)
+	dir := filepath.Dir(db)
+
+	// Text to stdout over all campaigns (default selection).
+	if err := run([]string{"report", "-db", db}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	// Explicit selection of a single campaign.
+	if err := run([]string{"report", "-db", db, "-campaigns", "rep-a"}); err != nil {
+		t.Fatalf("report -campaigns: %v", err)
+	}
+
+	// CSV to a file; must parse and mention both campaigns.
+	csvPath := filepath.Join(dir, "rep.csv")
+	if err := run([]string{"report", "-db", db, "-format", "csv", "-o", csvPath}); err != nil {
+		t.Fatalf("report -format csv: %v", err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		t.Fatalf("report CSV does not parse: %v", err)
+	}
+	campaigns := map[string]bool{}
+	for _, rec := range records[1:] {
+		campaigns[rec[0]] = true
+	}
+	if !campaigns["rep-a"] || !campaigns["rep-b"] {
+		t.Fatalf("CSV campaigns = %v", campaigns)
+	}
+
+	// HTML to a file.
+	htmlPath := filepath.Join(dir, "rep.html")
+	if err := run([]string{"report", "-db", db, "-format", "html", "-o", htmlPath}); err != nil {
+		t.Fatalf("report -format html: %v", err)
+	}
+	raw, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("<!DOCTYPE html>")) || !bytes.Contains(raw, []byte("rep-b")) {
+		t.Fatalf("HTML report content: %.120s", raw)
+	}
+
+	// Error paths.
+	if err := run([]string{"report", "-db", db, "-format", "pdf"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"report", "-db", db, "-campaigns", "ghost"}); err == nil {
+		t.Fatal("unknown campaign accepted")
+	}
+	if err := run([]string{"report"}); err == nil {
+		t.Fatal("report without -db accepted")
+	}
+}
+
+func TestCLIReportEmptyDB(t *testing.T) {
+	db := dbPath(t)
+	if err := run([]string{"configure", "-db", db}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"report", "-db", db})
+	if err == nil || !strings.Contains(err.Error(), "no campaigns") {
+		t.Fatalf("empty db report: %v", err)
+	}
+}
+
+func TestCLIReportUnanalyzed(t *testing.T) {
+	db := obsvCampaign(t, "unan", 5)
+	if err := run([]string{"run", "-db", db, "-campaign", "unan", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"report", "-db", db})
+	if err == nil || !strings.Contains(err.Error(), "analyze") {
+		t.Fatalf("report before analyze: %v", err)
+	}
+}
+
+// TestCLIStatsDiff compares the metrics snapshots of two runs.
+func TestCLIStatsDiff(t *testing.T) {
+	db := reportDB(t)
+	dir := filepath.Dir(db)
+	a := filepath.Join(dir, "rep-a.json")
+	b := filepath.Join(dir, "rep-b.json")
+	if err := run([]string{"stats", "-diff", a, b}); err != nil {
+		t.Fatalf("stats -diff: %v", err)
+	}
+	// The new snapshot can also come via -metrics.
+	if err := run([]string{"stats", "-diff", a, "-metrics", b}); err != nil {
+		t.Fatalf("stats -diff -metrics: %v", err)
+	}
+	if err := run([]string{"stats", "-diff", a}); err == nil {
+		t.Fatal("stats -diff with one snapshot accepted")
+	}
+	if err := run([]string{"stats", "-diff", a, filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("stats -diff with missing file accepted")
+	}
+}
+
+func TestCLIWatchErrors(t *testing.T) {
+	if err := run([]string{"watch"}); err == nil {
+		t.Fatal("watch without an address accepted")
+	}
+	// Connection refused: nothing listens on a fresh ephemeral-range port 1.
+	if err := run([]string{"watch", "127.0.0.1:1"}); err == nil {
+		t.Fatal("watch against a dead address accepted")
+	}
+}
+
+func TestWatchEventsErrors(t *testing.T) {
+	if _, err := watchEvents(strings.NewReader(""), io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no events") {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if _, err := watchEvents(strings.NewReader("{not json\n"), io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed stream: %v", err)
+	}
+	// A truncated stream (campaign crashed) still returns the last event.
+	ev, err := watchEvents(strings.NewReader(
+		`{"campaign":"w","seq":1,"done":3,"total":10}`+"\n"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Final || ev.Done != 3 {
+		t.Fatalf("truncated stream last event = %+v", ev)
+	}
+}
+
+func TestSetupLogging(t *testing.T) {
+	defer func(old *slog.Logger) { logger = old }(logger)
+
+	rest, err := setupLogging([]string{"-log-level", "debug", "-log-json", "list", "-db", "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 3 || rest[0] != "list" {
+		t.Fatalf("rest = %v", rest)
+	}
+	if !logger.Enabled(nil, slog.LevelDebug) {
+		t.Fatal("-log-level debug did not lower the threshold")
+	}
+
+	if _, err := setupLogging([]string{"-log-level", "chatty", "list"}); err == nil {
+		t.Fatal("bad -log-level accepted")
+	}
+	// No global flags: args pass through untouched.
+	rest, err = setupLogging([]string{"run", "-db", "x"})
+	if err != nil || len(rest) != 3 {
+		t.Fatalf("passthrough = %v, %v", rest, err)
+	}
+}

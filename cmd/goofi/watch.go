@@ -1,0 +1,135 @@
+// goofi watch: an in-terminal live view of a running campaign, fed by the
+// /campaign/events JSON-lines stream the -debug-addr server exposes. Start a
+// campaign with `goofi run ... -debug-addr :6060` and, from another
+// terminal, `goofi watch 127.0.0.1:6060`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"goofi"
+)
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "", "debug server address of a goofi run -debug-addr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" && fs.NArg() > 0 {
+		*addr = fs.Arg(0)
+	}
+	if *addr == "" {
+		return fmt.Errorf("watch: address required: goofi watch HOST:PORT")
+	}
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := http.Get(url + "/campaign/events")
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	final, err := watchEvents(resp.Body, os.Stdout)
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
+	if !final.Final {
+		logger.Warn("event stream ended before the campaign's final frame",
+			"campaign", final.Campaign)
+	}
+	return nil
+}
+
+// watchEvents renders the event stream as a single live-updating line,
+// returning the last event seen. Factored out of cmdWatch so tests can feed
+// it a recorded stream.
+func watchEvents(r io.Reader, w io.Writer) (goofi.CampaignEvent, error) {
+	var last goofi.CampaignEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	seen := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev goofi.CampaignEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return last, fmt.Errorf("malformed event: %w", err)
+		}
+		last, seen = ev, true
+		fmt.Fprintf(w, "\r%s", watchLine(ev))
+		if ev.Final {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, watchSummary(ev))
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("no events received")
+	}
+	if !last.Final {
+		fmt.Fprintln(w)
+	}
+	return last, nil
+}
+
+// watchLine is the live view: progress bar, rate, ETA, coverage-so-far and
+// the fault-tolerance counters.
+func watchLine(ev goofi.CampaignEvent) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%-30s] %d/%d", ev.Campaign, bar(ev.Done, ev.Total, 30), ev.Done, ev.Total)
+	if ev.RatePerSec > 0 {
+		fmt.Fprintf(&sb, "  %.1f/s", ev.RatePerSec)
+	}
+	if ev.EtaNs > 0 {
+		fmt.Fprintf(&sb, "  eta %s", time.Duration(ev.EtaNs).Round(100*time.Millisecond))
+	}
+	if ev.Done > 0 {
+		fmt.Fprintf(&sb, "  detected %d (%.1f%%)", ev.Detected, 100*float64(ev.Detected)/float64(ev.Done))
+	}
+	if ev.Retries > 0 || ev.Hangs > 0 || ev.Quarantined > 0 {
+		fmt.Fprintf(&sb, "  [retries=%d hangs=%d quarantined=%d]", ev.Retries, ev.Hangs, ev.Quarantined)
+	}
+	if ev.LastOutcome != "" {
+		fmt.Fprintf(&sb, "  %s", ev.LastOutcome)
+	}
+	// Pad so a shorter line fully overwrites its longer predecessor.
+	if sb.Len() < 110 {
+		sb.WriteString(strings.Repeat(" ", 110-sb.Len()))
+	}
+	return sb.String()
+}
+
+// watchSummary is printed once after the final frame.
+func watchSummary(ev goofi.CampaignEvent) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign %q finished: %d/%d experiments in %s",
+		ev.Campaign, ev.Done, ev.Total, time.Duration(ev.ElapsedNs).Round(time.Millisecond))
+	if ev.Skipped > 0 {
+		fmt.Fprintf(&sb, " (%d resumed)", ev.Skipped)
+	}
+	fmt.Fprintln(&sb)
+	if ev.Retries > 0 || ev.Hangs > 0 || ev.Quarantined > 0 {
+		fmt.Fprintf(&sb, "  fault tolerance: %d retries, %d hangs, %d targets quarantined\n",
+			ev.Retries, ev.Hangs, ev.Quarantined)
+	}
+	return sb.String()
+}

@@ -430,3 +430,73 @@ func MeasuredTargetFactory(inner TargetFactory, rec *Recorder) TargetFactory {
 
 // ParseMetrics reads a WriteMetrics JSON dump back in.
 func ParseMetrics(r io.Reader) (MetricsSnapshot, error) { return obsv.ParseSnapshot(r) }
+
+// Live campaign monitoring: assign a Broadcaster to Runner.Events and every
+// MonitorInterval the runner publishes one CampaignEvent frame (progress,
+// rate, ETA, fault-tolerance counters), plus a final frame matching the
+// returned Summary. The CLI serves the stream at /campaign/events on the
+// -debug-addr server and renders it with `goofi watch`.
+type (
+	// CampaignEvent is one frame of the live monitoring stream.
+	CampaignEvent = obsv.CampaignEvent
+	// Broadcaster fans campaign events out to subscribers; nil is disabled.
+	Broadcaster = obsv.Broadcaster
+)
+
+// NewBroadcaster builds an event broadcaster for Runner.Events.
+func NewBroadcaster() *Broadcaster { return obsv.NewBroadcaster() }
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (served at /metrics by the CLI's -debug-addr server).
+func WritePrometheus(w io.Writer, s MetricsSnapshot) error { return obsv.WritePrometheus(w, s) }
+
+// MetricsDiff compares two metrics snapshots — counter/gauge deltas and
+// histogram quantile shifts (`goofi stats -diff`).
+type MetricsDiff = obsv.SnapshotDiff
+
+// DiffMetrics compares snapshot a (the "before") with b (the "after").
+func DiffMetrics(a, b MetricsSnapshot) MetricsDiff { return obsv.DiffSnapshots(a, b) }
+
+// Persisted run metrics: with a Recorder attached, every campaign run also
+// writes a time series of engine metrics (progress counters, per-phase
+// durations, store latencies) into the CampaignRunMetrics table — interval
+// rows plus one final row per run.
+type RunMetricsRow = dbase.RunMetricsRow
+
+// RunMetrics returns a campaign's stored engine-metrics series in (run,
+// sequence) order.
+func RunMetrics(db *Database, campaign string) ([]RunMetricsRow, error) {
+	return db.RunMetrics(campaign)
+}
+
+// FinalRunMetrics returns the closing totals row of each of a campaign's
+// runs in run order.
+func FinalRunMetrics(db *Database, campaign string) ([]RunMetricsRow, error) {
+	return db.FinalRunMetrics(campaign)
+}
+
+// Cross-campaign reporting (`goofi report`): analysis outcomes, per-EDM
+// coverage with Wilson intervals, location breakdowns and run metrics of
+// several campaigns side by side, rendered as text, CSV or HTML.
+type (
+	// CrossReport compares completed campaigns side by side.
+	CrossReport = analysis.CrossReport
+	// CrossReportSection is one campaign's slice of a CrossReport.
+	CrossReportSection = analysis.CampaignSection
+	// MechanismCoverage is one EDM's coverage with its Wilson interval.
+	MechanismCoverage = analysis.MechanismCoverage
+	// CoverageInterval is a binomial-proportion confidence interval.
+	CoverageInterval = analysis.Interval
+)
+
+// CrossCampaignReport joins AnalysisResult, LoggedSystemState and
+// CampaignRunMetrics into a comparison of the named campaigns. Each campaign
+// must have been analysed (Analyze) first. ops, when non-nil, resolves
+// injection locations for the per-location breakdown; nil skips it.
+func CrossCampaignReport(db *Database, campaigns []string, ops TargetOperations) (CrossReport, error) {
+	return analysis.Cross(db, campaigns, ops)
+}
+
+// WilsonInterval computes the Wilson score interval for k successes out of n
+// trials at normal quantile z (1.96 for 95%).
+func WilsonInterval(k, n int, z float64) CoverageInterval { return analysis.Wilson(k, n, z) }

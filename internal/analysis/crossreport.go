@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"html/template"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"goofi/internal/core"
+	"goofi/internal/dbase"
+	"goofi/internal/obsv"
+	"goofi/internal/target"
+)
+
+// MechanismCoverage is one error detection mechanism's coverage within a
+// campaign: the fraction of effective errors that EDM detected, with its 95%
+// Wilson interval.
+type MechanismCoverage struct {
+	Mechanism string   `json:"mechanism"`
+	Detected  int      `json:"detected"`
+	Effective int      `json:"effective"`
+	Coverage  float64  `json:"coverage"`
+	CI        Interval `json:"coverageCI"`
+}
+
+// CampaignSection is one campaign's slice of a cross-campaign report,
+// assembled by joining its AnalysisResult rows (outcome taxonomy),
+// LoggedSystemState rows (failed experiments) and CampaignRunMetrics rows
+// (engine performance).
+type CampaignSection struct {
+	Report     Report              `json:"report"`
+	Mechanisms []MechanismCoverage `json:"mechanisms,omitempty"`
+	// Locations is the per-location breakdown; empty when no target was
+	// available to resolve location names.
+	Locations []LocationStats `json:"locations,omitempty"`
+	// Runs holds the final CampaignRunMetrics row of each run in run order;
+	// empty when the campaign ran without metrics persistence.
+	Runs []dbase.RunMetricsRow `json:"runs,omitempty"`
+}
+
+// LastRun returns the most recent run's final metrics row, or nil.
+func (s CampaignSection) LastRun() *dbase.RunMetricsRow {
+	if len(s.Runs) == 0 {
+		return nil
+	}
+	return &s.Runs[len(s.Runs)-1]
+}
+
+// TopLocations returns at most n locations (the breakdown is already sorted
+// by descending effective count).
+func (s CampaignSection) TopLocations(n int) []LocationStats {
+	if n <= 0 || n > len(s.Locations) {
+		n = len(s.Locations)
+	}
+	return s.Locations[:n]
+}
+
+// CrossReport compares completed campaigns side by side — the `goofi report`
+// deliverable.
+type CrossReport struct {
+	Campaigns []CampaignSection `json:"campaigns"`
+}
+
+// Cross assembles a cross-campaign report for the named campaigns. Each must
+// have been analysed already (Classify stores the AnalysisResult rows this
+// joins against). ops, when non-nil, resolves injection locations into state
+// element names for the per-location breakdown; pass nil to skip it. Run
+// metrics are included when present and silently absent otherwise, so
+// campaigns run before metrics persistence existed still report.
+func Cross(store *dbase.Store, campaigns []string, ops target.Operations) (CrossReport, error) {
+	if len(campaigns) == 0 {
+		return CrossReport{}, fmt.Errorf("analysis: cross report needs at least one campaign")
+	}
+	var cr CrossReport
+	for _, name := range campaigns {
+		rep, err := reportFromStored(store, name)
+		if err != nil {
+			return CrossReport{}, err
+		}
+		sec := CampaignSection{Report: rep}
+		for _, m := range sortedKeys(rep.PerMechanism) {
+			k := rep.PerMechanism[m]
+			mc := MechanismCoverage{Mechanism: m, Detected: k, Effective: rep.Effective}
+			if rep.Effective > 0 {
+				mc.Coverage = float64(k) / float64(rep.Effective)
+				mc.CI = Wilson(k, rep.Effective, 1.96)
+			}
+			sec.Mechanisms = append(sec.Mechanisms, mc)
+		}
+		if ops != nil {
+			locs, err := LocationBreakdown(store, name, ops)
+			if err != nil {
+				return CrossReport{}, err
+			}
+			sec.Locations = locs
+		}
+		runs, err := store.FinalRunMetrics(name)
+		if err != nil {
+			return CrossReport{}, err
+		}
+		sec.Runs = runs
+		cr.Campaigns = append(cr.Campaigns, sec)
+	}
+	return cr, nil
+}
+
+// reportFromStored rebuilds a campaign's Report from its stored
+// AnalysisResult rows instead of re-classifying — `goofi report` must not
+// mutate the database. Failed experiments never reach AnalysisResult, so
+// their count is recovered from LoggedSystemState.
+func reportFromStored(store *dbase.Store, campaign string) (Report, error) {
+	results, err := store.AnalysisResults(campaign)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(results) == 0 {
+		return Report{}, fmt.Errorf("analysis: campaign %s has no analysis results; run the analyze step first", campaign)
+	}
+	rep := Report{
+		Campaign:     campaign,
+		Counts:       map[string]int{},
+		PerMechanism: map[string]int{},
+	}
+	for _, res := range results {
+		rep.Counts[res.Outcome]++
+		if res.Outcome == OutcomeDetected {
+			rep.PerMechanism[res.Mechanism]++
+		}
+		rep.Total++
+	}
+	exps, err := store.Experiments(campaign)
+	if err != nil {
+		return Report{}, err
+	}
+	for _, e := range exps {
+		if e.ParentExperiment == "" && e.TerminationReason == core.TermFailed {
+			rep.Failed++
+		}
+	}
+	rep.Effective = rep.Counts[OutcomeDetected] + rep.Counts[OutcomeEscaped]
+	rep.NonEffective = rep.Counts[OutcomeLatent] + rep.Counts[OutcomeOverwritten]
+	if rep.Effective > 0 {
+		rep.Coverage = float64(rep.Counts[OutcomeDetected]) / float64(rep.Effective)
+		rep.CI = Wilson(rep.Counts[OutcomeDetected], rep.Effective, 1.96)
+	}
+	return rep, nil
+}
+
+// topLocationsShown bounds the per-campaign location table in the rendered
+// report; the full breakdown stays available through `goofi locations`.
+const topLocationsShown = 8
+
+// Format renders the cross-campaign comparison as aligned text tables:
+// overall and per-EDM coverage with Wilson intervals, engine metrics and the
+// phase-duration breakdown of each campaign's latest run, and the top
+// locations where available.
+func (c CrossReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "Cross-campaign report (%d campaigns)\n", len(c.Campaigns))
+
+	fmt.Fprintf(w, "\n%-20s %7s %7s %10s %9s %10s %15s\n",
+		"campaign", "total", "failed", "effective", "detected", "coverage", "95% CI")
+	for _, s := range c.Campaigns {
+		r := s.Report
+		fmt.Fprintf(w, "%-20s %7d %7d %10d %9d %10s %15s\n",
+			r.Campaign, r.Total, r.Failed, r.Effective,
+			r.Counts[OutcomeDetected], pctOf(r.Coverage, r.Effective), ciOf(r.CI, r.Effective))
+	}
+
+	fmt.Fprintf(w, "\n%-20s %-16s %9s %10s %10s %15s\n",
+		"campaign", "mechanism", "detected", "effective", "coverage", "95% CI")
+	for _, s := range c.Campaigns {
+		for _, m := range s.Mechanisms {
+			fmt.Fprintf(w, "%-20s %-16s %9d %10d %10s %15s\n",
+				s.Report.Campaign, m.Mechanism, m.Detected, m.Effective,
+				pctOf(m.Coverage, m.Effective), ciOf(m.CI, m.Effective))
+		}
+	}
+
+	if c.anyRuns() {
+		fmt.Fprintf(w, "\n%-20s %4s %9s %9s %8s %8s %6s %11s %8s %10s\n",
+			"campaign", "run", "done", "elapsed", "rate/s", "retries", "hangs", "quarantined", "workers", "store p95")
+		for _, s := range c.Campaigns {
+			run := s.LastRun()
+			if run == nil {
+				fmt.Fprintf(w, "%-20s %4s\n", s.Report.Campaign, "-")
+				continue
+			}
+			fmt.Fprintf(w, "%-20s %4d %9s %9s %8.1f %8d %6d %11d %8d %10s\n",
+				s.Report.Campaign, run.RunID,
+				fmt.Sprintf("%d/%d", run.Done, run.Total),
+				fmtNs(run.ElapsedNs), ratePerSec(*run),
+				run.Retries, run.Hangs, run.Quarantined, run.Workers,
+				fmtNs(run.StoreP95Ns))
+		}
+
+		fmt.Fprintf(w, "\n%-20s", "phase durations")
+		for p := obsv.Phase(0); p < obsv.NumPhases; p++ {
+			fmt.Fprintf(w, " %12s", p.String())
+		}
+		fmt.Fprintln(w)
+		for _, s := range c.Campaigns {
+			run := s.LastRun()
+			if run == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%-20s", s.Report.Campaign)
+			for _, ns := range run.PhaseNs {
+				fmt.Fprintf(w, " %12s", fmtNs(ns))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	for _, s := range c.Campaigns {
+		if len(s.Locations) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\ntop locations: %s\n", s.Report.Campaign)
+		fmt.Fprint(w, FormatLocationTable(s.Locations, topLocationsShown))
+	}
+}
+
+func (c CrossReport) anyRuns() bool {
+	for _, s := range c.Campaigns {
+		if len(s.Runs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV renders the comparison as one flat CSV: a "(all)" row per
+// campaign carrying the overall coverage plus the latest run's engine and
+// phase columns, then one row per mechanism with the engine columns empty.
+func (c CrossReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"campaign", "mechanism", "detected", "effective", "coverage", "ci_lo", "ci_hi",
+		"experiments", "failed", "run", "elapsed_ns", "rate_per_sec",
+		"retries", "hangs", "quarantined", "workers", "store_p95_ns",
+	}
+	for p := obsv.Phase(0); p < obsv.NumPhases; p++ {
+		header = append(header, "phase_"+strings.ReplaceAll(p.String(), "-", "_")+"_ns")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	blankEngine := make([]string, len(header)-9)
+	for _, s := range c.Campaigns {
+		r := s.Report
+		rec := []string{
+			r.Campaign, "(all)",
+			strconv.Itoa(r.Counts[OutcomeDetected]), strconv.Itoa(r.Effective),
+			fmtFloat(r.Coverage), fmtFloat(r.CI.Lo), fmtFloat(r.CI.Hi),
+			strconv.Itoa(r.Total), strconv.Itoa(r.Failed),
+		}
+		if run := s.LastRun(); run != nil {
+			rec = append(rec,
+				strconv.FormatInt(run.RunID, 10),
+				strconv.FormatInt(run.ElapsedNs, 10),
+				fmtFloat(ratePerSec(*run)),
+				strconv.Itoa(run.Retries), strconv.Itoa(run.Hangs),
+				strconv.Itoa(run.Quarantined), strconv.Itoa(run.Workers),
+				strconv.FormatInt(run.StoreP95Ns, 10),
+			)
+			for _, ns := range run.PhaseNs {
+				rec = append(rec, strconv.FormatInt(ns, 10))
+			}
+		} else {
+			rec = append(rec, blankEngine...)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+		for _, m := range s.Mechanisms {
+			rec := []string{
+				r.Campaign, m.Mechanism,
+				strconv.Itoa(m.Detected), strconv.Itoa(m.Effective),
+				fmtFloat(m.Coverage), fmtFloat(m.CI.Lo), fmtFloat(m.CI.Hi),
+				strconv.Itoa(r.Total), strconv.Itoa(r.Failed),
+			}
+			rec = append(rec, blankEngine...)
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// reportTemplate is the self-contained HTML rendering of a CrossReport: no
+// external assets, so the file can be mailed or archived as-is.
+var reportTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct":   func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) },
+	"dur":   fmtNs,
+	"rate":  func(r dbase.RunMetricsRow) string { return fmt.Sprintf("%.1f", ratePerSec(r)) },
+	"top":   func(s CampaignSection) []LocationStats { return s.TopLocations(topLocationsShown) },
+	"phase": func(i int) string { return obsv.Phase(i).String() },
+	"out":   func(l LocationStats, o string) int { return l.Outcomes[o] },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>GOOFI cross-campaign report</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; }
+th, td { border: 1px solid #c8c8d8; padding: .25rem .6rem; text-align: right; }
+th { background: #eef; } td:first-child, th:first-child { text-align: left; }
+.bar { background: linear-gradient(to right, #6a8 var(--w), transparent var(--w)); }
+</style>
+</head>
+<body>
+<h1>GOOFI cross-campaign report</h1>
+
+<h2>Error detection coverage</h2>
+<table>
+<tr><th>campaign</th><th>experiments</th><th>failed</th><th>effective</th><th>detected</th><th>coverage</th><th>95% CI</th></tr>
+{{range .Campaigns}}{{with .Report}}
+<tr><td>{{.Campaign}}</td><td>{{.Total}}</td><td>{{.Failed}}</td><td>{{.Effective}}</td>
+<td>{{index .Counts "detected"}}</td>
+<td class="bar" style="--w: {{pct .Coverage}}">{{pct .Coverage}}</td>
+<td>{{pct .CI.Lo}}&ndash;{{pct .CI.Hi}}</td></tr>
+{{end}}{{end}}
+</table>
+
+<h2>Per-mechanism coverage</h2>
+<table>
+<tr><th>campaign</th><th>mechanism</th><th>detected</th><th>effective</th><th>coverage</th><th>95% CI</th></tr>
+{{range .Campaigns}}{{$c := .Report.Campaign}}{{range .Mechanisms}}
+<tr><td>{{$c}}</td><td>{{.Mechanism}}</td><td>{{.Detected}}</td><td>{{.Effective}}</td>
+<td class="bar" style="--w: {{pct .Coverage}}">{{pct .Coverage}}</td>
+<td>{{pct .CI.Lo}}&ndash;{{pct .CI.Hi}}</td></tr>
+{{end}}{{end}}
+</table>
+
+<h2>Engine metrics (latest run)</h2>
+<table>
+<tr><th>campaign</th><th>run</th><th>done</th><th>elapsed</th><th>rate/s</th><th>retries</th><th>hangs</th><th>quarantined</th><th>workers</th><th>store p95</th></tr>
+{{range .Campaigns}}{{$c := .Report.Campaign}}{{with .LastRun}}
+<tr><td>{{$c}}</td><td>{{.RunID}}</td><td>{{.Done}}/{{.Total}}</td><td>{{dur .ElapsedNs}}</td>
+<td>{{rate .}}</td><td>{{.Retries}}</td><td>{{.Hangs}}</td><td>{{.Quarantined}}</td>
+<td>{{.Workers}}</td><td>{{dur .StoreP95Ns}}</td></tr>
+{{end}}{{end}}
+</table>
+
+<h2>Phase durations (latest run)</h2>
+<table>
+<tr><th>campaign</th>{{range $i := .PhaseIndexes}}<th>{{phase $i}}</th>{{end}}</tr>
+{{range .Campaigns}}{{$c := .Report.Campaign}}{{with .LastRun}}
+<tr><td>{{$c}}</td>{{range .PhaseNs}}<td>{{dur .}}</td>{{end}}</tr>
+{{end}}{{end}}
+</table>
+
+{{range .Campaigns}}{{if .Locations}}
+<h2>Top locations: {{.Report.Campaign}}</h2>
+<table>
+<tr><th>location</th><th>total</th><th>detected</th><th>escaped</th><th>latent</th><th>overwritten</th></tr>
+{{range top .}}
+<tr><td>{{.Location}}</td><td>{{.Total}}</td><td>{{out . "detected"}}</td><td>{{out . "escaped"}}</td><td>{{out . "latent"}}</td><td>{{out . "overwritten"}}</td></tr>
+{{end}}
+</table>
+{{end}}{{end}}
+</body>
+</html>
+`))
+
+// htmlReport wraps CrossReport with the phase-axis helper the template needs.
+type htmlReport struct {
+	CrossReport
+	PhaseIndexes []int
+}
+
+// WriteHTML renders the comparison as one self-contained HTML document.
+func (c CrossReport) WriteHTML(w io.Writer) error {
+	v := htmlReport{CrossReport: c}
+	for p := 0; p < int(obsv.NumPhases); p++ {
+		v.PhaseIndexes = append(v.PhaseIndexes, p)
+	}
+	return reportTemplate.Execute(w, v)
+}
+
+// ratePerSec is the run's completion rate (done experiments per second).
+func ratePerSec(r dbase.RunMetricsRow) float64 {
+	if r.ElapsedNs <= 0 {
+		return 0
+	}
+	return float64(r.Done) / (float64(r.ElapsedNs) / 1e9)
+}
+
+// pctOf renders a proportion, or "-" when its denominator is empty.
+func pctOf(v float64, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// ciOf renders a Wilson interval, or "-" when its denominator is empty.
+func ciOf(ci Interval, n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%–%.1f%%", 100*ci.Lo, 100*ci.Hi)
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// fmtNs renders nanoseconds compactly for the report tables.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(d)/float64(time.Second))
+	}
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"goofi/internal/core"
+	"goofi/internal/dbase"
+	"goofi/internal/obsv"
+	"goofi/internal/target"
+)
+
+// crossStore runs and analyses several campaigns on one store, with metrics
+// persistence enabled so CampaignRunMetrics rows exist to join against.
+func crossStore(t *testing.T, campaigns ...core.Campaign) *dbase.Store {
+	t.Helper()
+	ops := target.NewDefaultThorTarget()
+	store, err := dbase.NewMemoryStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.RegisterTarget(store, ops, "test"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range campaigns {
+		rec := obsv.New(obsv.Options{})
+		store.SetRecorder(rec)
+		r := core.NewRunner(ops, store, c)
+		r.Recorder = rec
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		store.SetRecorder(nil)
+		if _, err := Classify(store, c.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func twoCampaignStore(t *testing.T) *dbase.Store {
+	t.Helper()
+	ca := baseCampaign("cross-a", 60)
+	cb := baseCampaign("cross-b", 40)
+	cb.Seed = 99
+	return crossStore(t, ca, cb)
+}
+
+// TestCrossReportTwoCampaigns is the reporting acceptance check: the joined
+// report carries both campaigns with per-EDM coverage, Wilson intervals, and
+// each campaign's final run-metrics row.
+func TestCrossReportTwoCampaigns(t *testing.T) {
+	store := twoCampaignStore(t)
+	rep, err := Cross(store, []string{"cross-a", "cross-b"}, target.NewDefaultThorTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Campaigns) != 2 {
+		t.Fatalf("sections = %d", len(rep.Campaigns))
+	}
+	wantTotal := map[string]int{"cross-a": 60, "cross-b": 40}
+	for _, sec := range rep.Campaigns {
+		r := sec.Report
+		if r.Total != wantTotal[r.Campaign] {
+			t.Fatalf("%s: total = %d, want %d", r.Campaign, r.Total, wantTotal[r.Campaign])
+		}
+		// The stored-rows reconstruction must agree with a fresh Classify.
+		fresh, err := Classify(store, r.Campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Effective != fresh.Effective || r.Coverage != fresh.Coverage ||
+			r.CI != fresh.CI || r.Failed != fresh.Failed {
+			t.Errorf("%s: stored report %+v != fresh report %+v", r.Campaign, r, fresh)
+		}
+
+		// Per-EDM coverage with exact Wilson intervals.
+		if len(sec.Mechanisms) == 0 {
+			t.Fatalf("%s: no mechanism coverage", r.Campaign)
+		}
+		for _, m := range sec.Mechanisms {
+			if m.Effective != r.Effective {
+				t.Errorf("%s/%s: effective = %d, want %d", r.Campaign, m.Mechanism, m.Effective, r.Effective)
+			}
+			if want := r.PerMechanism[m.Mechanism]; m.Detected != want {
+				t.Errorf("%s/%s: detected = %d, want %d", r.Campaign, m.Mechanism, m.Detected, want)
+			}
+			if want := Wilson(m.Detected, m.Effective, 1.96); m.CI != want {
+				t.Errorf("%s/%s: CI = %+v, want Wilson %+v", r.Campaign, m.Mechanism, m.CI, want)
+			}
+			if m.CI.Lo > m.Coverage || m.Coverage > m.CI.Hi {
+				t.Errorf("%s/%s: coverage %v outside its CI %+v", r.Campaign, m.Mechanism, m.Coverage, m.CI)
+			}
+		}
+
+		// The engine join: one final row, FK-linked, totals matching.
+		if len(sec.Runs) != 1 {
+			t.Fatalf("%s: runs = %+v", r.Campaign, sec.Runs)
+		}
+		run := sec.LastRun()
+		if run.CampaignName != r.Campaign || !run.Final || run.Done != r.Total {
+			t.Fatalf("%s: final run row = %+v", r.Campaign, run)
+		}
+
+		// Location breakdown present because ops was passed.
+		if len(sec.Locations) == 0 {
+			t.Fatalf("%s: no location breakdown", r.Campaign)
+		}
+	}
+}
+
+func TestCrossReportWithoutOpsOrMetrics(t *testing.T) {
+	// Analyse only — no recorder, so no run metrics; nil ops, so no locations.
+	store := runCampaign(t, baseCampaign("cross-bare", 20))
+	if _, err := Classify(store, "cross-bare"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Cross(store, []string{"cross-bare"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := rep.Campaigns[0]
+	if len(sec.Locations) != 0 || len(sec.Runs) != 0 || sec.LastRun() != nil {
+		t.Fatalf("bare section = %+v", sec)
+	}
+	// The renderers must cope with the missing joins.
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	if !strings.Contains(buf.String(), "cross-bare") {
+		t.Fatal("text render lost the campaign")
+	}
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossReportRequiresAnalyze(t *testing.T) {
+	store := runCampaign(t, baseCampaign("cross-raw", 10))
+	_, err := Cross(store, []string{"cross-raw"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "analyze") {
+		t.Fatalf("unanalysed campaign: err = %v", err)
+	}
+	if _, err := Cross(store, nil, nil); err == nil {
+		t.Fatal("empty campaign list must error")
+	}
+	if _, err := Cross(store, []string{"ghost"}, nil); err == nil {
+		t.Fatal("unknown campaign must error")
+	}
+}
+
+func TestCrossReportFormatText(t *testing.T) {
+	store := twoCampaignStore(t)
+	rep, err := Cross(store, []string{"cross-a", "cross-b"}, target.NewDefaultThorTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Cross-campaign report (2 campaigns)",
+		"cross-a", "cross-b", "95% CI", "mechanism",
+		"phase durations", "workload", "scan-in",
+		"top locations: cross-a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossReportCSV(t *testing.T) {
+	store := twoCampaignStore(t)
+	rep, err := Cross(store, []string{"cross-a", "cross-b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	header := records[0]
+	wantCols := 17 + int(obsv.NumPhases)
+	if len(header) != wantCols {
+		t.Fatalf("header has %d columns, want %d: %v", len(header), wantCols, header)
+	}
+	if header[0] != "campaign" || header[1] != "mechanism" || header[9] != "run" {
+		t.Fatalf("header = %v", header)
+	}
+	if header[len(header)-1] != "phase_store_flush_ns" {
+		t.Fatalf("last phase column = %q", header[len(header)-1])
+	}
+	var allRows, mechRows int
+	for _, rec := range records[1:] {
+		if len(rec) != wantCols {
+			t.Fatalf("ragged row: %v", rec)
+		}
+		if rec[1] == "(all)" {
+			allRows++
+			if rec[9] == "" {
+				t.Errorf("(all) row missing engine columns: %v", rec)
+			}
+		} else {
+			mechRows++
+			if rec[9] != "" {
+				t.Errorf("mechanism row carries engine columns: %v", rec)
+			}
+		}
+	}
+	if allRows != 2 || mechRows == 0 {
+		t.Fatalf("rows: %d (all) + %d mechanism", allRows, mechRows)
+	}
+}
+
+func TestCrossReportHTML(t *testing.T) {
+	store := twoCampaignStore(t)
+	rep, err := Cross(store, []string{"cross-a", "cross-b"}, target.NewDefaultThorTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"Error detection coverage", "Per-mechanism coverage",
+		"Engine metrics", "Phase durations",
+		"cross-a", "cross-b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "{{") {
+		t.Error("unexecuted template actions in HTML output")
+	}
+}

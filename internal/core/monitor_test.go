@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"goofi/internal/obsv"
+	"goofi/internal/target"
+)
+
+// collectEvents drains a broadcaster subscription until Close, returning the
+// received frames.
+func collectEvents(b *obsv.Broadcaster) (wait func() []obsv.CampaignEvent) {
+	ch, _ := b.Subscribe(256)
+	var mu sync.Mutex
+	var events []obsv.CampaignEvent
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+	}()
+	return func() []obsv.CampaignEvent {
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return events
+	}
+}
+
+// TestMonitorPersistsRunMetrics is the persistence acceptance check: a
+// metrics-enabled run leaves at least one final CampaignRunMetrics row,
+// FK-linked to its campaign, whose counters equal the Runner's Summary — and
+// the live event stream ends with a frame carrying the same totals.
+func TestMonitorPersistsRunMetrics(t *testing.T) {
+	rec := obsv.New(obsv.Options{})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	events := obsv.NewBroadcaster()
+	c := scifiCampaign("mon1", 6)
+	r := NewRunner(target.NewMeasured(thor, rec), store, c)
+	r.Recorder = rec
+	r.Events = events
+	wait := collectEvents(events)
+
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 6 {
+		t.Fatalf("completed = %d", sum.Completed)
+	}
+
+	final, err := store.FinalRunMetrics("mon1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 {
+		t.Fatalf("final rows = %d, want 1", len(final))
+	}
+	row := final[0]
+	if !row.Final || row.RunID != 1 {
+		t.Fatalf("final row = %+v", row)
+	}
+	if row.Done != sum.Completed+sum.Skipped || row.Total != c.NExperiments ||
+		row.Retries != sum.Retries || row.Hangs != sum.Hangs ||
+		row.Quarantined != sum.Quarantined {
+		t.Fatalf("final row %+v does not match summary %+v", row, sum)
+	}
+	if row.ElapsedNs <= 0 || row.Workers != 1 {
+		t.Fatalf("final row engine fields = %+v", row)
+	}
+	if row.PhaseNs[obsv.PhaseWorkload] <= 0 || row.PhaseNs[obsv.PhaseScanIn] <= 0 {
+		t.Fatalf("phase durations not persisted: %v", row.PhaseNs)
+	}
+	if row.StoreCalls <= 0 || row.StoreRows <= 0 {
+		t.Fatalf("store traffic not persisted: %+v", row)
+	}
+
+	// The broadcaster was closed by the run; the collector must terminate
+	// with a final frame matching the summary.
+	evs := wait()
+	if len(evs) == 0 {
+		t.Fatal("no events broadcast")
+	}
+	last := evs[len(evs)-1]
+	if !last.Final || last.Done != sum.Completed+sum.Skipped ||
+		last.Total != c.NExperiments || last.Campaign != "mon1" {
+		t.Fatalf("final event = %+v, summary = %+v", last, sum)
+	}
+	wantDetected := 0
+	for _, v := range sum.Detections {
+		wantDetected += v
+	}
+	if last.Detected != wantDetected {
+		t.Fatalf("final event detected = %d, want %d", last.Detected, wantDetected)
+	}
+}
+
+// TestMonitorIntervalSamples: with a tiny interval, a longer run persists
+// interval rows before the final one, with increasing Seq and monotone
+// progress.
+func TestMonitorIntervalSamples(t *testing.T) {
+	rec := obsv.New(obsv.Options{})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	c := scifiCampaign("mon2", 4000)
+	r := NewRunner(target.NewMeasured(thor, rec), store, c)
+	r.Recorder = rec
+	r.Events = obsv.NewBroadcaster()
+	r.MonitorInterval = time.Millisecond
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := store.RunMetrics("mon2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d, want interval samples plus the final row", len(rows))
+	}
+	for i, row := range rows {
+		if row.RunID != 1 || row.Seq != int64(i) {
+			t.Fatalf("row %d keys = run %d seq %d", i, row.RunID, row.Seq)
+		}
+		if i > 0 {
+			prev := rows[i-1]
+			if row.Done < prev.Done || row.ElapsedNs < prev.ElapsedNs {
+				t.Fatalf("row %d regressed: %+v after %+v", i, row, prev)
+			}
+		}
+		if row.Final != (i == len(rows)-1) {
+			t.Fatalf("row %d final flag = %v", i, row.Final)
+		}
+	}
+}
+
+// TestMonitorRunIDAcrossRuns: re-running a finished campaign (a resume
+// no-op) records a second run with its own final row.
+func TestMonitorRunIDAcrossRuns(t *testing.T) {
+	rec := obsv.New(obsv.Options{})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	c := scifiCampaign("mon3", 3)
+	for want := int64(1); want <= 2; want++ {
+		r := NewRunner(target.NewMeasured(thor, rec), store, c)
+		r.Recorder = rec
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		final, err := store.FinalRunMetrics("mon3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(final)) != want || final[want-1].RunID != want {
+			t.Fatalf("after run %d: final rows = %+v", want, final)
+		}
+	}
+	// The second run resumed everything: its final row says so.
+	final, _ := store.FinalRunMetrics("mon3")
+	if got := final[1]; got.Skipped != 3 || got.Done != 3 {
+		t.Fatalf("resumed run row = %+v", got)
+	}
+}
+
+// TestMonitorWithoutRecorder: an events-only run (no Recorder) streams live
+// frames but persists nothing — metrics persistence is tied to the
+// observability opt-in.
+func TestMonitorWithoutRecorder(t *testing.T) {
+	thor, store := newEnv(t)
+	events := obsv.NewBroadcaster()
+	r := NewRunner(thor, store, scifiCampaign("mon4", 4))
+	r.Events = events
+	wait := collectEvents(events)
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := wait()
+	if len(evs) == 0 || !evs[len(evs)-1].Final {
+		t.Fatalf("events = %+v, want a final frame", evs)
+	}
+	if evs[len(evs)-1].Done != sum.Completed {
+		t.Fatalf("final event = %+v", evs[len(evs)-1])
+	}
+	rows, err := store.RunMetrics("mon4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("recorder-less run persisted %d rows", len(rows))
+	}
+}
+
+// TestMonitorStoppedRunStillFlushes: a stopped campaign flushes its final
+// row too, so a post-mortem sees how far the run got.
+func TestMonitorStoppedRunStillFlushes(t *testing.T) {
+	rec := obsv.New(obsv.Options{})
+	thor, store := newEnv(t)
+	store.SetRecorder(rec)
+	c := scifiCampaign("mon5", 50)
+	r := NewRunner(target.NewMeasured(thor, rec), store, c)
+	r.Recorder = rec
+	r.OnProgress = func(p Progress) {
+		if p.Done >= 3 && p.LastOutcome != "stopped" {
+			r.Stop()
+		}
+	}
+	if _, err := r.Run(context.Background()); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	final, err := store.FinalRunMetrics("mon5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 || final[0].Done == 0 || final[0].Done >= 50 {
+		t.Fatalf("stopped-run final rows = %+v", final)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"strings"
 	"sync"
@@ -69,6 +70,11 @@ type Progress struct {
 	Done, Total int
 	// LastOutcome summarises the most recent experiment's termination.
 	LastOutcome string
+	// Skipped counts experiments reused from an earlier, interrupted run.
+	Skipped int
+	// Detected counts experiments terminated by a detection mechanism so far
+	// — Detected/Done is the live coverage proxy `goofi watch` displays.
+	Detected int
 	// Retries, Hangs and Quarantined mirror the running Summary's
 	// fault-tolerance counters.
 	Retries     int
@@ -135,6 +141,25 @@ type Runner struct {
 	// with a target.Measured wrapper (same recorder) to cover the
 	// target-operation phases too.
 	Recorder *obsv.Recorder
+
+	// Events, when set, receives live CampaignEvent frames: one per
+	// MonitorInterval while the campaign runs, plus a final frame whose
+	// counters match the returned Summary. Run closes the broadcaster, so
+	// subscribers (the /campaign/events endpoint, `goofi watch`) terminate
+	// cleanly with the campaign.
+	Events *obsv.Broadcaster
+
+	// MonitorInterval is the live-monitoring sample period (events and
+	// persisted interval metrics); zero means one second.
+	MonitorInterval time.Duration
+
+	// Logger, when set, receives engine-level diagnostics (campaign start,
+	// quarantines, degraded worker pools) through log/slog. nil discards.
+	Logger *slog.Logger
+
+	// mon is the active run's live monitor; set and cleared by Run and only
+	// touched on the Run goroutine.
+	mon *monitor
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -350,6 +375,34 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		return Summary{}, err
 	}
 
+	// Live monitoring starts once the campaign row exists (the metrics rows
+	// it may persist are FK-linked to CampaignData) and stops in finish,
+	// which publishes the final event and flushes the buffered metrics rows
+	// on this goroutine. A monitoring flush failure only surfaces when the
+	// campaign itself succeeded — it must not mask the campaign's own error.
+	mon, err := r.startMonitor()
+	if err != nil {
+		return Summary{}, err
+	}
+	r.mon = mon
+	defer func() { r.mon = nil }()
+	r.logger().Info("campaign starting",
+		"campaign", c.Name, "experiments", c.NExperiments,
+		"workers", max(c.Workers, 1), "technique", c.Technique)
+
+	sum, err := r.execute(ctx, tech, locs)
+	if ferr := mon.finish(sum); ferr != nil && err == nil {
+		err = ferr
+	}
+	return sum, err
+}
+
+// execute runs the validated campaign: reference run, then the sequential or
+// parallel experiment loop. Split from Run so monitoring setup/teardown
+// brackets the whole execution on the Run goroutine.
+func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.Location) (Summary, error) {
+	c := r.campaign
+
 	// Propagate context cancellation into the pause/stop machinery.
 	watchDone := make(chan struct{})
 	defer close(watchDone)
@@ -479,6 +532,8 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 			if err != nil {
 				return sum, fmt.Errorf("core: experiment %d: replace hung target: %w", i, err)
 			}
+			r.logger().Warn("experiment hung; target quarantined",
+				"campaign", c.Name, "experiment", name, "watchdog", c.ExperimentTimeout)
 			ops = nops
 			sum.Quarantined++
 		}
@@ -520,6 +575,8 @@ func (r *Runner) progress(sum *Summary, done, total int, label string) Progress 
 		Done:        done,
 		Total:       total,
 		LastOutcome: label,
+		Skipped:     sum.Skipped,
+		Detected:    detectedOf(*sum),
 		Retries:     sum.Retries,
 		Hangs:       sum.Hangs,
 		Quarantined: sum.Quarantined,
@@ -750,9 +807,13 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		if res.quarantined {
 			sum.Quarantined++
 			r.Recorder.Count("experiments.quarantined", 1)
+			r.logger().Warn("worker target quarantined",
+				"campaign", c.Name, "experiment", res.name)
 		}
 		if res.workerLost {
 			workersLost++
+			r.logger().Warn("worker retired; pool degraded",
+				"campaign", c.Name, "workersLost", workersLost, "workers", workers)
 		}
 		if res.out.err != nil {
 			if firstErr == nil {
@@ -843,6 +904,7 @@ func (r *Runner) report(p Progress) {
 	if r.OnProgress != nil {
 		r.OnProgress(p)
 	}
+	r.mon.observe(p)
 }
 
 func (r *Runner) experimentRow(name, parent string, exp Experiment) dbase.ExperimentRow {

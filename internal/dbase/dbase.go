@@ -115,6 +115,34 @@ CREATE TABLE IF NOT EXISTS AnalysisResult (
 	FOREIGN KEY (experimentName) REFERENCES LoggedSystemState (experimentName),
 	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
 );
+CREATE TABLE IF NOT EXISTS CampaignRunMetrics (
+	campaignName      TEXT NOT NULL,
+	runId             INTEGER NOT NULL,
+	seq               INTEGER NOT NULL,
+	isFinal           INTEGER NOT NULL,
+	elapsedNs         INTEGER NOT NULL,
+	done              INTEGER NOT NULL,
+	total             INTEGER NOT NULL,
+	skipped           INTEGER NOT NULL,
+	retries           INTEGER NOT NULL,
+	hangs             INTEGER NOT NULL,
+	quarantined       INTEGER NOT NULL,
+	workers           INTEGER NOT NULL,
+	storeCalls        INTEGER NOT NULL,
+	storeRows         INTEGER NOT NULL,
+	storeP95Ns        INTEGER NOT NULL,
+	phaseInitNs       INTEGER NOT NULL,
+	phasePlanNs       INTEGER NOT NULL,
+	phaseWorkloadNs   INTEGER NOT NULL,
+	phaseScanOutNs    INTEGER NOT NULL,
+	phaseScanInNs     INTEGER NOT NULL,
+	phaseMemoryNs     INTEGER NOT NULL,
+	phaseCheckpointNs INTEGER NOT NULL,
+	phaseRetryNs      INTEGER NOT NULL,
+	phaseFlushNs      INTEGER NOT NULL,
+	PRIMARY KEY (campaignName, runId, seq),
+	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+);
 `
 
 // NewMemoryStore builds a fresh in-memory store with the schema installed.
@@ -603,6 +631,7 @@ func (s *Store) DeleteCampaign(name string) error {
 	}
 	steps := []string{
 		"DELETE FROM AnalysisResult WHERE campaignName = ?",
+		"DELETE FROM CampaignRunMetrics WHERE campaignName = ?",
 		"DELETE FROM LoggedSystemState WHERE campaignName = ?",
 		"DELETE FROM CampaignData WHERE campaignName = ?",
 	}

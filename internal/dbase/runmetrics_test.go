@@ -1,0 +1,191 @@
+package dbase
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"goofi/internal/obsv"
+	"goofi/internal/sqldb"
+)
+
+// metricsStore builds a store holding the FK parents a run-metrics row needs.
+func metricsStore(t *testing.T, campaigns ...string) *Store {
+	t.Helper()
+	s := newStore(t)
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range campaigns {
+		if err := s.PutCampaign(sampleCampaign(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func sampleRunMetrics(campaign string, runID, seq int64, final bool) RunMetricsRow {
+	r := RunMetricsRow{
+		CampaignName: campaign,
+		RunID:        runID,
+		Seq:          seq,
+		Final:        final,
+		ElapsedNs:    1_000_000 * (seq + 1),
+		Done:         int(10 * (seq + 1)),
+		Total:        100,
+		Skipped:      2,
+		Retries:      3,
+		Hangs:        1,
+		Quarantined:  1,
+		Workers:      4,
+		StoreCalls:   50 + seq,
+		StoreRows:    200 + seq,
+		StoreP95Ns:   12345,
+	}
+	for p := range r.PhaseNs {
+		r.PhaseNs[p] = int64(100 * (p + 1))
+	}
+	return r
+}
+
+func TestRunMetricsRoundTrip(t *testing.T) {
+	s := metricsStore(t, "c1")
+	want := []RunMetricsRow{
+		sampleRunMetrics("c1", 1, 0, false),
+		sampleRunMetrics("c1", 1, 1, false),
+		sampleRunMetrics("c1", 1, 2, true),
+	}
+	if err := s.PutRunMetrics(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunMetrics("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	final, err := s.FinalRunMetrics("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 1 || !reflect.DeepEqual(final[0], want[2]) {
+		t.Fatalf("final rows = %+v", final)
+	}
+}
+
+func TestRunMetricsEmptyBatchAndEmptyCampaign(t *testing.T) {
+	s := metricsStore(t, "c1")
+	if err := s.PutRunMetrics(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	rows, err := s.RunMetrics("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows = %+v, want none", rows)
+	}
+}
+
+func TestRunMetricsOrderedAcrossRuns(t *testing.T) {
+	s := metricsStore(t, "c1")
+	// Stored out of order on purpose; reads must come back (runId, seq)-sorted.
+	batch := []RunMetricsRow{
+		sampleRunMetrics("c1", 2, 0, true),
+		sampleRunMetrics("c1", 1, 1, true),
+		sampleRunMetrics("c1", 1, 0, false),
+	}
+	if err := s.PutRunMetrics(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunMetrics("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys [][2]int64
+	for _, r := range got {
+		keys = append(keys, [2]int64{r.RunID, r.Seq})
+	}
+	want := [][2]int64{{1, 0}, {1, 1}, {2, 0}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("order = %v, want %v", keys, want)
+	}
+	final, err := s.FinalRunMetrics("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2 || final[0].RunID != 1 || final[1].RunID != 2 {
+		t.Fatalf("final rows per run = %+v", final)
+	}
+}
+
+func TestNextRunID(t *testing.T) {
+	s := metricsStore(t, "c1", "c2")
+	id, err := s.NextRunID("c1")
+	if err != nil || id != 1 {
+		t.Fatalf("first NextRunID = %d, %v; want 1", id, err)
+	}
+	if err := s.PutRunMetrics([]RunMetricsRow{sampleRunMetrics("c1", id, 0, true)}); err != nil {
+		t.Fatal(err)
+	}
+	if id, err = s.NextRunID("c1"); err != nil || id != 2 {
+		t.Fatalf("second NextRunID = %d, %v; want 2", id, err)
+	}
+	// Run IDs are per campaign.
+	if id, err = s.NextRunID("c2"); err != nil || id != 1 {
+		t.Fatalf("NextRunID(c2) = %d, %v; want 1", id, err)
+	}
+}
+
+func TestRunMetricsForeignKey(t *testing.T) {
+	s := metricsStore(t) // no campaign rows
+	err := s.PutRunMetrics([]RunMetricsRow{sampleRunMetrics("ghost", 1, 0, true)})
+	if !errors.Is(err, sqldb.ErrForeignKey) {
+		t.Fatalf("orphan run metrics: err = %v, want ErrForeignKey", err)
+	}
+}
+
+func TestDeleteCampaignRemovesRunMetrics(t *testing.T) {
+	s := metricsStore(t, "c1")
+	if err := s.PutRunMetrics([]RunMetricsRow{sampleRunMetrics("c1", 1, 0, true)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteCampaign("c1"); err != nil {
+		t.Fatal(err)
+	}
+	// The campaign can be recreated from scratch; run numbering restarts.
+	if err := s.PutCampaign(sampleCampaign("c1")); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.NextRunID("c1")
+	if err != nil || id != 1 {
+		t.Fatalf("NextRunID after delete = %d, %v; want 1", id, err)
+	}
+}
+
+func TestRunMetricsInstrumented(t *testing.T) {
+	s := metricsStore(t, "c1")
+	rec := obsv.New(obsv.Options{})
+	s.SetRecorder(rec)
+	if err := s.PutRunMetrics([]RunMetricsRow{
+		sampleRunMetrics("c1", 1, 0, false),
+		sampleRunMetrics("c1", 1, 1, true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunMetrics("c1"); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	names := map[string]bool{}
+	for _, h := range snap.Histograms {
+		names[h.Name] = true
+	}
+	if !names["store.PutRunMetrics"] || !names["store.RunMetrics"] {
+		t.Fatalf("store latency histograms = %v", names)
+	}
+	if snap.Counters["store.rows"] < 4 { // 2 written + 2 read back
+		t.Fatalf("store.rows = %d, want >= 4", snap.Counters["store.rows"])
+	}
+}

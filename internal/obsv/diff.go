@@ -1,0 +1,152 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricDelta compares one scalar instrument across two snapshots.
+type MetricDelta struct {
+	Name string `json:"name"`
+	A    int64  `json:"a"`
+	B    int64  `json:"b"`
+}
+
+// Delta is B - A.
+func (d MetricDelta) Delta() int64 { return d.B - d.A }
+
+// Pct is the relative change in percent; 0 when A is 0.
+func (d MetricDelta) Pct() float64 {
+	if d.A == 0 {
+		return 0
+	}
+	return 100 * float64(d.B-d.A) / float64(d.A)
+}
+
+// HistogramDelta compares one histogram (including the phase histograms)
+// across two snapshots — counts plus quantile shifts.
+type HistogramDelta struct {
+	Name string         `json:"name"`
+	A    HistogramStats `json:"a"`
+	B    HistogramStats `json:"b"`
+}
+
+// SnapshotDiff is the comparison of two metrics snapshots, the data behind
+// `goofi stats -diff a.json b.json` — quick perf triage between two runs.
+type SnapshotDiff struct {
+	WallClock  MetricDelta      `json:"wallClock"`
+	Counters   []MetricDelta    `json:"counters,omitempty"`
+	Gauges     []MetricDelta    `json:"gauges,omitempty"`
+	Histograms []HistogramDelta `json:"histograms,omitempty"`
+}
+
+// DiffSnapshots compares snapshot a (the "before") with b (the "after").
+// Instruments present in only one snapshot appear with the other side zero.
+func DiffSnapshots(a, b Snapshot) SnapshotDiff {
+	d := SnapshotDiff{
+		WallClock: MetricDelta{Name: "wall-clock", A: a.WallClockNs, B: b.WallClockNs},
+		Counters:  scalarDeltas(a.Counters, b.Counters),
+		Gauges:    scalarDeltas(a.Gauges, b.Gauges),
+	}
+	ah := histogramsByName(a)
+	bh := histogramsByName(b)
+	names := map[string]bool{}
+	for n := range ah {
+		names[n] = true
+	}
+	for n := range bh {
+		names[n] = true
+	}
+	for _, n := range sortedSet(names) {
+		d.Histograms = append(d.Histograms, HistogramDelta{Name: n, A: ah[n], B: bh[n]})
+	}
+	return d
+}
+
+// histogramsByName flattens a snapshot's phase and free histograms into one
+// name-indexed map (phases keep their "phase." prefix).
+func histogramsByName(s Snapshot) map[string]HistogramStats {
+	out := make(map[string]HistogramStats, len(s.Phases)+len(s.Histograms))
+	for _, p := range s.Phases {
+		out["phase."+p.Phase] = p.HistogramStats
+	}
+	for _, h := range s.Histograms {
+		out[h.Name] = h
+	}
+	return out
+}
+
+func scalarDeltas(a, b map[string]int64) []MetricDelta {
+	names := map[string]bool{}
+	for n := range a {
+		names[n] = true
+	}
+	for n := range b {
+		names[n] = true
+	}
+	out := make([]MetricDelta, 0, len(names))
+	for _, n := range sortedSet(names) {
+		out = append(out, MetricDelta{Name: n, A: a[n], B: b[n]})
+	}
+	return out
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Format renders the diff as the aligned report behind `goofi stats -diff`:
+// wall-clock and scalar deltas, then per-histogram count and p50/p95/p99
+// shifts. Unchanged instruments are skipped to keep the triage view short.
+func (d SnapshotDiff) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-26s %12s %12s %12s %8s\n", "metric", "a", "b", "delta", "change")
+	printDelta := func(m MetricDelta, dur bool) {
+		av, bv, dv := fmt.Sprint(m.A), fmt.Sprint(m.B), fmt.Sprintf("%+d", m.Delta())
+		if dur {
+			av, bv = fmtDur(m.A), fmtDur(m.B)
+			dv = signedDur(m.Delta())
+		}
+		fmt.Fprintf(w, "%-26s %12s %12s %12s %7.1f%%\n", m.Name, av, bv, dv, m.Pct())
+	}
+	printDelta(d.WallClock, true)
+	for _, m := range d.Counters {
+		if m.Delta() != 0 {
+			printDelta(m, false)
+		}
+	}
+	for _, m := range d.Gauges {
+		if m.Delta() != 0 {
+			printDelta(m, false)
+		}
+	}
+
+	fmt.Fprintf(w, "\n%-26s %16s %14s %14s %14s\n", "histogram", "count a→b", "p50 a→b", "p95 a→b", "p99 a→b")
+	for _, h := range d.Histograms {
+		if h.A.Count == 0 && h.B.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-26s %16s %14s %14s %14s\n", h.Name,
+			fmt.Sprintf("%d→%d", h.A.Count, h.B.Count),
+			quantileShift(h.A.P50Ns, h.B.P50Ns),
+			quantileShift(h.A.P95Ns, h.B.P95Ns),
+			quantileShift(h.A.P99Ns, h.B.P99Ns))
+	}
+}
+
+// quantileShift renders "old→new" for one quantile pair.
+func quantileShift(a, b int64) string {
+	return fmtDur(a) + "→" + fmtDur(b)
+}
+
+func signedDur(ns int64) string {
+	if ns < 0 {
+		return "-" + fmtDur(-ns)
+	}
+	return "+" + fmtDur(ns)
+}

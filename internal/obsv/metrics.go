@@ -145,7 +145,22 @@ func (h *Histogram) Stats(name string) HistogramStats {
 		s.MinNs = h.minPlus1.Load() - 1
 		s.MaxNs = h.max.Load()
 	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperNs: bucketUpper(i), Count: n})
+		}
+	}
 	return s
+}
+
+// bucketUpper is the inclusive upper bound of bucket i: the largest value
+// with bit length i. Observations are clamped non-negative, so indices above
+// 63 are unreachable and share MaxInt64.
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
 }
 
 // Registry is a name-indexed collection of counters, gauges and histograms.

@@ -1,0 +1,171 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (text/plain; version=0.0.4), dependency-free. Every
+// instrument in the snapshot is exported:
+//
+//   - counters  → goofi_<name>_total
+//   - gauges    → goofi_<name>
+//   - the campaign wall-clock → goofi_campaign_wall_clock_seconds
+//   - phase histograms → one goofi_phase_duration_seconds family with a
+//     phase label, cumulative le buckets from the power-of-two bucket edges
+//   - other histograms → goofi_<name>_seconds histogram families
+//   - dropped trace events → goofi_trace_events_dropped_total
+//
+// Durations are converted from nanoseconds to Prometheus base seconds.
+// Output is deterministic: families and label values appear in sorted order.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	pw := &promWriter{w: w}
+
+	if s.WallClockNs > 0 {
+		pw.family("goofi_campaign_wall_clock_seconds", "gauge",
+			"Total campaign wall-clock time so far.")
+		pw.sample("goofi_campaign_wall_clock_seconds", "", promSeconds(s.WallClockNs))
+	}
+
+	for _, name := range sortedNames(s.Counters) {
+		fam := "goofi_" + promName(name) + "_total"
+		pw.family(fam, "counter", "Counter "+name+".")
+		pw.sample(fam, "", float64(s.Counters[name]))
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		fam := "goofi_" + promName(name)
+		pw.family(fam, "gauge", "Gauge "+name+".")
+		pw.sample(fam, "", float64(s.Gauges[name]))
+	}
+	if s.TraceDropped > 0 {
+		pw.family("goofi_trace_events_dropped_total", "counter",
+			"Trace events discarded beyond the buffer cap.")
+		pw.sample("goofi_trace_events_dropped_total", "", float64(s.TraceDropped))
+	}
+
+	if len(s.Phases) > 0 {
+		pw.family("goofi_phase_duration_seconds", "histogram",
+			"Leaf-phase durations partitioning the campaign wall-clock.")
+		for _, p := range s.Phases {
+			pw.histogram("goofi_phase_duration_seconds",
+				`phase="`+p.Phase+`"`, p.HistogramStats)
+		}
+	}
+	for _, h := range s.Histograms {
+		fam := "goofi_" + promName(h.Name) + "_seconds"
+		pw.family(fam, "histogram", "Latency histogram "+h.Name+".")
+		pw.histogram(fam, "", h)
+	}
+	return pw.err
+}
+
+// promWriter accumulates exposition lines, keeping the first write error.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// family emits the HELP and TYPE header of one metric family.
+func (p *promWriter) family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels is the raw `k="v",...` body or "".
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	p.printf("%s%s %s\n", name, labels, promFloat(v))
+}
+
+// histogram emits the cumulative bucket/sum/count series of one histogram
+// under the family name, with extraLabels attached to every sample.
+func (p *promWriter) histogram(name, extraLabels string, h HistogramStats) {
+	sep := ""
+	if extraLabels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := promFloat(promSeconds(b.UpperNs))
+		if b.UpperNs == math.MaxInt64 {
+			le = "+Inf"
+		}
+		p.printf("%s_bucket{%sle=%q} %d\n", name, extraLabels+sep, le, cum)
+	}
+	// Prometheus requires a terminal +Inf bucket equal to the total count.
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].UpperNs != math.MaxInt64 {
+		p.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, extraLabels+sep, h.Count)
+	}
+	p.sample(name+"_sum", extraLabels, promSeconds(h.TotalNs))
+	p.printf("%s_count%s %d\n", name, bracket(extraLabels), h.Count)
+}
+
+func bracket(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// promName maps an instrument name onto the Prometheus metric-name charset:
+// every run of characters outside [a-zA-Z0-9_] becomes one underscore.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	pendingSep := false
+	for _, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			pendingSep = sb.Len() > 0
+			continue
+		}
+		if pendingSep {
+			sb.WriteByte('_')
+			pendingSep = false
+		}
+		sb.WriteRune(r)
+	}
+	out := sb.String()
+	if out == "" {
+		return "unnamed"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// promSeconds converts nanoseconds to seconds.
+func promSeconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// promFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, no exponent surprises for integers.
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedNames(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -9,6 +9,15 @@ import (
 	"time"
 )
 
+// HistBucket is one populated power-of-two histogram bucket: Count
+// observations v with UpperNs/2 < v <= UpperNs (bucket counts, not
+// cumulative). The bounds are the exact bucket edges of Histogram, so an
+// exporter can rebuild a faithful cumulative distribution.
+type HistBucket struct {
+	UpperNs int64 `json:"upperNs"`
+	Count   int64 `json:"count"`
+}
+
 // HistogramStats is the exported snapshot of one histogram.
 type HistogramStats struct {
 	Name    string `json:"name"`
@@ -19,6 +28,9 @@ type HistogramStats struct {
 	P50Ns   int64  `json:"p50Ns"`
 	P95Ns   int64  `json:"p95Ns"`
 	P99Ns   int64  `json:"p99Ns"`
+	// Buckets lists the populated buckets in ascending bound order; empty
+	// buckets are omitted.
+	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
 // PhaseStats is one row of the per-phase wall-clock breakdown.

@@ -1,0 +1,162 @@
+package obsv
+
+import (
+	"sync"
+)
+
+// CampaignEvent is one frame of the live campaign monitoring stream: a
+// point-in-time view of campaign progress assembled by the Runner's snapshot
+// ticker and consumed by the /campaign/events endpoint and `goofi watch`.
+type CampaignEvent struct {
+	Campaign string `json:"campaign"`
+	// Seq increases by one per published event of a run; the final event has
+	// the highest Seq and Final set.
+	Seq int64 `json:"seq"`
+	// ElapsedNs is wall-clock time since the campaign entered its run loop.
+	ElapsedNs int64 `json:"elapsedNs"`
+	// Done counts concluded experiments (including resumed ones) out of Total.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Skipped counts experiments reused from an earlier, interrupted run.
+	Skipped int `json:"skipped"`
+	// Detected counts experiments terminated by an error detection mechanism
+	// so far — Detected/Done is the live coverage proxy `goofi watch` shows.
+	Detected    int `json:"detected"`
+	Retries     int `json:"retries"`
+	Hangs       int `json:"hangs"`
+	Quarantined int `json:"quarantined"`
+	Workers     int `json:"workers"`
+	// RatePerSec is the completion rate since the run started.
+	RatePerSec float64 `json:"ratePerSec"`
+	// EtaNs estimates the remaining wall-clock time at the current rate
+	// (0 when the rate is still unknown).
+	EtaNs       int64  `json:"etaNs,omitempty"`
+	LastOutcome string `json:"lastOutcome,omitempty"`
+	// Final marks the last event of the run; its counters match the Runner's
+	// Summary.
+	Final bool `json:"final,omitempty"`
+}
+
+// Broadcaster fans campaign events out to any number of subscribers (HTTP
+// streams, tests). It is the glue between the Runner's snapshot ticker and
+// the `/campaign/events` endpoint:
+//
+//   - Publish never blocks: a subscriber that cannot keep up loses events
+//     (counted in Dropped) rather than stalling the campaign.
+//   - Subscribe immediately replays the most recent event, so a watcher
+//     attaching mid-campaign sees state at once.
+//   - Close marks the campaign over and closes every subscriber channel, so
+//     stream consumers terminate cleanly.
+//
+// A nil *Broadcaster is the disabled state: Publish and Close no-op,
+// Subscribe returns a closed channel.
+type Broadcaster struct {
+	mu      sync.Mutex
+	subs    map[int]chan CampaignEvent
+	nextID  int
+	last    CampaignEvent
+	hasLast bool
+	closed  bool
+	dropped int64
+}
+
+// NewBroadcaster builds an open broadcaster with no subscribers.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: map[int]chan CampaignEvent{}}
+}
+
+// Publish delivers ev to every subscriber without blocking and remembers it
+// for replay to future subscribers. Publishing after Close is a no-op.
+func (b *Broadcaster) Publish(ev CampaignEvent) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.last, b.hasLast = ev, true
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (minimum 1) and returns its event channel plus a cancel function. The most
+// recent event, if any, is replayed immediately. After Close — or after
+// cancel — the channel is closed.
+func (b *Broadcaster) Subscribe(buf int) (<-chan CampaignEvent, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan CampaignEvent, buf)
+	if b == nil {
+		close(ch)
+		return ch, func() {}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.hasLast {
+		ch <- b.last
+	}
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// Close ends the stream: every subscriber channel is closed after the events
+// already delivered, and later Publish/Subscribe calls observe the closed
+// state. Safe to call more than once.
+func (b *Broadcaster) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}
+
+// Dropped counts events lost to slow subscribers.
+func (b *Broadcaster) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Last returns the most recently published event and whether one exists.
+func (b *Broadcaster) Last() (CampaignEvent, bool) {
+	if b == nil {
+		return CampaignEvent{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last, b.hasLast
+}

@@ -1,0 +1,343 @@
+package obsv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBroadcasterPublishSubscribe(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(4)
+	defer cancel()
+
+	b.Publish(CampaignEvent{Seq: 1, Done: 1, Total: 10})
+	b.Publish(CampaignEvent{Seq: 2, Done: 2, Total: 10})
+	if ev := <-ch; ev.Seq != 1 {
+		t.Fatalf("first event seq = %d", ev.Seq)
+	}
+	if ev := <-ch; ev.Seq != 2 {
+		t.Fatalf("second event seq = %d", ev.Seq)
+	}
+	if last, ok := b.Last(); !ok || last.Seq != 2 {
+		t.Fatalf("Last() = %+v, %v", last, ok)
+	}
+}
+
+func TestBroadcasterReplaysLatestToNewSubscriber(t *testing.T) {
+	b := NewBroadcaster()
+	b.Publish(CampaignEvent{Seq: 7, Done: 70, Total: 100})
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	select {
+	case ev := <-ch:
+		if ev.Seq != 7 || ev.Done != 70 {
+			t.Fatalf("replayed event = %+v", ev)
+		}
+	default:
+		t.Fatal("no replay of the latest event on subscribe")
+	}
+}
+
+func TestBroadcasterSlowSubscriberDrops(t *testing.T) {
+	b := NewBroadcaster()
+	_, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Publish(CampaignEvent{Seq: 1}) // fills the buffer
+	b.Publish(CampaignEvent{Seq: 2}) // dropped, must not block
+	b.Publish(CampaignEvent{Seq: 3}) // dropped
+	if got := b.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	// The latest event is still replayed to fresh subscribers.
+	ch2, cancel2 := b.Subscribe(1)
+	defer cancel2()
+	if ev := <-ch2; ev.Seq != 3 {
+		t.Fatalf("latest after drops = %+v", ev)
+	}
+}
+
+func TestBroadcasterClose(t *testing.T) {
+	b := NewBroadcaster()
+	ch, _ := b.Subscribe(2)
+	b.Publish(CampaignEvent{Seq: 1})
+	b.Close()
+	b.Close() // idempotent
+	b.Publish(CampaignEvent{Seq: 2}) // after close: dropped silently
+
+	if ev, ok := <-ch; !ok || ev.Seq != 1 {
+		t.Fatalf("buffered event after close = %+v, %v", ev, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after Close")
+	}
+	// Subscribing to a closed broadcaster yields the last event, then a
+	// closed channel — a watcher attaching after the campaign still sees the
+	// final state.
+	ch2, cancel := b.Subscribe(1)
+	if ev, ok := <-ch2; !ok || ev.Seq != 1 {
+		t.Fatalf("post-close subscribe = %+v, %v", ev, ok)
+	}
+	if _, ok := <-ch2; ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+	cancel() // must not panic
+}
+
+func TestBroadcasterCancelIdempotent(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // double cancel must not panic or double-close
+	if _, ok := <-ch; ok {
+		t.Fatal("channel open after cancel")
+	}
+	b.Publish(CampaignEvent{Seq: 1}) // publishing to zero subscribers is fine
+}
+
+func TestBroadcasterNil(t *testing.T) {
+	var b *Broadcaster
+	b.Publish(CampaignEvent{Seq: 1}) // no-op
+	b.Close()                        // no-op
+	if b.Dropped() != 0 {
+		t.Fatal("nil Dropped != 0")
+	}
+	if _, ok := b.Last(); ok {
+		t.Fatal("nil Last reports an event")
+	}
+	ch, cancel := b.Subscribe(1)
+	if _, ok := <-ch; ok {
+		t.Fatal("nil Subscribe channel not closed")
+	}
+	cancel()
+}
+
+func TestBroadcasterConcurrent(t *testing.T) {
+	b := NewBroadcaster()
+	var pubs, subs sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish(CampaignEvent{Seq: int64(i)})
+			}
+		}()
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			ch, _ := b.Subscribe(4)
+			for range ch { // drains until Close closes the channel
+			}
+		}()
+	}
+	pubs.Wait()
+	b.Close()
+	subs.Wait()
+}
+
+// ---------------------------------------------------------------------------
+
+// promSnapshot builds a small synthetic snapshot exercising every exporter
+// branch: wall clock, counters, gauges, phase histograms with buckets, free
+// histograms, and dropped trace events.
+func promSnapshot() Snapshot {
+	return Snapshot{
+		WallClockNs:  2_500_000_000,
+		TraceDropped: 4,
+		Counters:     map[string]int64{"experiments.completed": 8, "store.calls": 31},
+		Gauges:       map[string]int64{"workers": 2},
+		Phases: []PhaseStats{
+			{Phase: "workload", HistogramStats: HistogramStats{
+				Name: "phase.workload", Count: 3, TotalNs: 700,
+				Buckets: []HistBucket{{UpperNs: 255, Count: 2}, {UpperNs: 511, Count: 1}},
+			}},
+			{Phase: "scan-out", HistogramStats: HistogramStats{
+				Name: "phase.scan-out", Count: 1, TotalNs: 100,
+				Buckets: []HistBucket{{UpperNs: 127, Count: 1}},
+			}},
+		},
+		Histograms: []HistogramStats{
+			{Name: "store.PutExperiment", Count: 5, TotalNs: 1000,
+				Buckets: []HistBucket{{UpperNs: 255, Count: 4}, {UpperNs: math.MaxInt64, Count: 1}}},
+		},
+	}
+}
+
+func TestWritePrometheusStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE goofi_campaign_wall_clock_seconds gauge",
+		"goofi_campaign_wall_clock_seconds 2.5",
+		"# TYPE goofi_experiments_completed_total counter",
+		"goofi_experiments_completed_total 8",
+		"goofi_store_calls_total 31",
+		"# TYPE goofi_workers gauge",
+		"goofi_workers 2",
+		"# TYPE goofi_trace_events_dropped_total counter",
+		"goofi_trace_events_dropped_total 4",
+		"# TYPE goofi_phase_duration_seconds histogram",
+		`goofi_phase_duration_seconds_bucket{phase="workload",le="2.55e-07"} 2`,
+		`goofi_phase_duration_seconds_bucket{phase="workload",le="5.11e-07"} 3`,
+		`goofi_phase_duration_seconds_bucket{phase="workload",le="+Inf"} 3`,
+		`goofi_phase_duration_seconds_count{phase="workload"} 3`,
+		`goofi_phase_duration_seconds_bucket{phase="scan-out",le="+Inf"} 1`,
+		"# TYPE goofi_store_PutExperiment_seconds histogram",
+		`goofi_store_PutExperiment_seconds_bucket{le="+Inf"} 5`,
+		"goofi_store_PutExperiment_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the workload phase has 2 then 2+1.
+	if strings.Contains(out, `{phase="workload",le="5.11e-07"} 1`) {
+		t.Error("buckets emitted per-bucket instead of cumulative")
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("exposition is not deterministic across calls")
+	}
+}
+
+func TestWritePrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot produced output:\n%s", buf.String())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink full" }
+
+func TestWritePrometheusPropagatesWriteError(t *testing.T) {
+	if err := WritePrometheus(&failWriter{}, promSnapshot()); err != errFail {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"store.calls", "store_calls"},
+		{"phase.scan-out", "phase_scan_out"},
+		{"already_ok", "already_ok"},
+		{"a..b", "a_b"},
+		{"..leading", "leading"},
+		{"trailing..", "trailing"},
+		{"9lives", "_9lives"},
+		{"", "unnamed"},
+		{"!!!", "unnamed"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{3, "3"},
+		{2.5, "2.5"},
+		{0.000000255, "2.55e-07"},
+	} {
+		if got := promFloat(tc.in); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func TestDiffSnapshots(t *testing.T) {
+	a := Snapshot{
+		WallClockNs: 1000,
+		Counters:    map[string]int64{"experiments.completed": 4, "only.a": 1},
+		Gauges:      map[string]int64{"workers": 1},
+		Phases: []PhaseStats{{Phase: "workload",
+			HistogramStats: HistogramStats{Count: 4, P95Ns: 100}}},
+	}
+	b := Snapshot{
+		WallClockNs: 1500,
+		Counters:    map[string]int64{"experiments.completed": 8, "only.b": 2},
+		Gauges:      map[string]int64{"workers": 4},
+		Histograms:  []HistogramStats{{Name: "store.Flush", Count: 1, P95Ns: 50}},
+	}
+	d := DiffSnapshots(a, b)
+
+	if d.WallClock.Delta() != 500 || d.WallClock.Pct() != 50 {
+		t.Fatalf("wall clock delta = %+v", d.WallClock)
+	}
+	byName := map[string]MetricDelta{}
+	for _, m := range d.Counters {
+		byName[m.Name] = m
+	}
+	if m := byName["experiments.completed"]; m.A != 4 || m.B != 8 || m.Delta() != 4 || m.Pct() != 100 {
+		t.Errorf("completed delta = %+v", m)
+	}
+	// Union semantics: one-sided instruments appear with the other side zero.
+	if m := byName["only.a"]; m.A != 1 || m.B != 0 {
+		t.Errorf("only.a = %+v", m)
+	}
+	if m := byName["only.b"]; m.A != 0 || m.B != 2 || m.Pct() != 0 {
+		t.Errorf("only.b = %+v", m)
+	}
+
+	hists := map[string]HistogramDelta{}
+	for _, h := range d.Histograms {
+		hists[h.Name] = h
+	}
+	if h, ok := hists["phase.workload"]; !ok || h.A.Count != 4 || h.B.Count != 0 {
+		t.Errorf("phase.workload delta = %+v", h)
+	}
+	if h, ok := hists["store.Flush"]; !ok || h.A.Count != 0 || h.B.Count != 1 {
+		t.Errorf("store.Flush delta = %+v", h)
+	}
+
+	var buf bytes.Buffer
+	d.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"wall-clock", "experiments.completed", "+4",
+		"phase.workload", "store.Flush", "100n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff format missing %q:\n%s", want, out)
+		}
+	}
+	// Unchanged scalars are suppressed from the triage view.
+	same := DiffSnapshots(a, a)
+	buf.Reset()
+	same.Format(&buf)
+	if strings.Contains(buf.String(), "only.a") {
+		t.Errorf("unchanged counter shown in diff:\n%s", buf.String())
+	}
+}
