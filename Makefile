@@ -27,12 +27,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# The worker-pool campaign engine lives in internal/core, the packed
-# bitset + TAP fast path in internal/scan, the chaos/retry taxonomy in
-# internal/target, and the concurrent recorder/broadcaster in
-# internal/obsv; run all four under the race detector on every change.
+# The worker-pool campaign engine (and the checkpoint-forking paths) live
+# in internal/core, the packed bitset + TAP fast path in internal/scan,
+# the chaos/retry taxonomy and the checkpoint stores in internal/target,
+# the delta snapshot scheme in internal/thor, the restorable plant models
+# in internal/envsim, and the concurrent recorder/broadcaster in
+# internal/obsv; run all six under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/obsv/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. The raw text lands in
@@ -49,11 +51,14 @@ bench:
 benchdiff:
 	$(GO) run ./cmd/goofi-bench -diff $(OLD) $(NEW)
 
-# Short benchmark smoke: the parallel campaign sweep plus the injection
-# micro-benchmark, just enough iterations to catch regressions in wiring.
+# Short benchmark smoke: the parallel campaign sweep, the forked-campaign
+# pair and the injection micro-benchmark, just enough time per benchmark
+# to catch regressions in wiring. Time-based rather than a fixed
+# iteration count so one-off setup (minting worker targets, the forked
+# golden run) amortises roughly as it does in the full baseline run.
 # Emits BENCH_smoke.json so CI artifacts carry machine-readable numbers.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkInjectionScanVsMemory' -benchtime 16x -benchmem . > BENCH_smoke.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkSCIFICampaignParallel|BenchmarkCampaignForked|BenchmarkInjectionScanVsMemory' -benchtime 50ms -benchmem . > BENCH_smoke.txt
 	cat BENCH_smoke.txt
 	$(GO) run ./cmd/goofi-bench -in BENCH_smoke.txt -out BENCH_smoke.json
 
@@ -66,11 +71,21 @@ cover:
 FUZZTIME ?= 5s
 
 # Short coverage-guided fuzz of the hostile-input surfaces: the SQL
-# lexer/parser and the packed scan-chain codec. `go test -fuzz` takes one
-# target per invocation, hence three runs.
+# lexer/parser, the packed scan-chain codec and the page-delta checkpoint
+# round-trip. `go test -fuzz` takes one target per invocation, hence four
+# runs.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzBitsPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/scan
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDelta$$' -fuzztime $(FUZZTIME) ./internal/thor
 
+# After benchsmoke, gate the smoke numbers against the committed full-run
+# baseline BENCH_campaign.json. Time only (-metrics ns): allocation
+# metrics fold one-off setup into per-op numbers and so only compare
+# between runs of similar length. The tolerance is deliberately generous
+# (75%): the smoke run is short and lands on whatever machine CI uses,
+# so only order-of-magnitude regressions — a forked campaign falling
+# back to the plain path, a capture turning quadratic — should trip it.
 ci: vet build test race benchsmoke fuzzsmoke
+	$(GO) run ./cmd/goofi-bench -diff BENCH_campaign.json -tolerance 75 -metrics ns BENCH_smoke.json

@@ -9,7 +9,13 @@
 // Compare, flagging regressions beyond the tolerance (default 10%) with a
 // non-zero exit so CI can gate on it:
 //
-//	goofi-bench -diff old.json new.json [-tolerance 10]
+//	goofi-bench -diff old.json [-tolerance 10] [-metrics ns,b,allocs] new.json
+//
+// -metrics selects which per-op metrics gate (all by default). Use
+// `-metrics ns` when the two runs used very different iteration counts:
+// one-off setup (minting worker targets, a forked campaign's golden run)
+// amortises into B/op and allocs/op, so allocation metrics only compare
+// meaningfully between runs of similar length.
 //
 // The Makefile wires these as `make bench` and `make benchdiff`.
 package main
@@ -53,6 +59,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
 	diff := fs.String("diff", "", "compare this baseline JSON against a second JSON argument")
 	tolerance := fs.Float64("tolerance", 10, "regression threshold for -diff, percent slower/bigger")
+	metrics := fs.String("metrics", "ns,b,allocs", "comma-separated metrics gated by -diff: ns, b, allocs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +67,20 @@ func run(args []string, stdout io.Writer) error {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("-diff needs the new summary too: goofi-bench -diff old.json new.json")
 		}
-		return diffFiles(*diff, fs.Arg(0), *tolerance, stdout)
+		gate := map[string]bool{}
+		for _, m := range strings.Split(*metrics, ",") {
+			switch m = strings.TrimSpace(m); m {
+			case "ns", "b", "allocs":
+				gate[m] = true
+			case "":
+			default:
+				return fmt.Errorf("unknown -metrics entry %q (want ns, b, allocs)", m)
+			}
+		}
+		if len(gate) == 0 {
+			return fmt.Errorf("-metrics selects nothing to gate")
+		}
+		return diffFiles(*diff, fs.Arg(0), *tolerance, gate, stdout)
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required (or use -diff)")
@@ -158,9 +178,9 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 }
 
 // diffFiles compares two JSON summaries and reports per-benchmark changes.
-// Any metric more than tolerance percent worse in the new file is flagged as
-// a regression and makes the exit status non-zero.
-func diffFiles(oldPath, newPath string, tolerance float64, w io.Writer) error {
+// Any gated metric more than tolerance percent worse in the new file is
+// flagged as a regression and makes the exit status non-zero.
+func diffFiles(oldPath, newPath string, tolerance float64, gate map[string]bool, w io.Writer) error {
 	oldF, err := loadFile(oldPath)
 	if err != nil {
 		return err
@@ -191,13 +211,16 @@ func diffFiles(oldPath, newPath string, tolerance float64, w io.Writer) error {
 		}
 		flag := ""
 		for _, m := range []struct {
-			label    string
-			old, new float64
+			key, label string
+			old, new   float64
 		}{
-			{"ns/op", ob.NsPerOp, nb.NsPerOp},
-			{"B/op", ob.BytesPerOp, nb.BytesPerOp},
-			{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp},
+			{"ns", "ns/op", ob.NsPerOp, nb.NsPerOp},
+			{"b", "B/op", ob.BytesPerOp, nb.BytesPerOp},
+			{"allocs", "allocs/op", ob.AllocsPerOp, nb.AllocsPerOp},
 		} {
+			if !gate[m.key] {
+				continue
+			}
 			if p := pctChange(m.old, m.new); p > tolerance {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %s %+.1f%% (%.1f -> %.1f)", name, m.label, p, m.old, m.new))

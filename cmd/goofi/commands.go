@@ -140,6 +140,9 @@ func cmdRun(args []string) error {
 	retries := fs.Int("retries", 0, "retries per experiment after transient target faults")
 	retryBackoff := fs.Duration("retry-backoff", 0, "base delay between retries, doubling per attempt")
 	timeout := fs.Duration("timeout", 0, "wall-clock watchdog per experiment attempt (0 = cycle budget only)")
+	fork := fs.Bool("fork", false, "golden-run checkpoint forking: execute only each experiment's post-injection suffix")
+	cpEvery := fs.Uint64("checkpoint-every", 0, "checkpoint grid spacing in cycles for -fork (0 = auto, ~tmax/16)")
+	cpMem := fs.Int64("checkpoint-mem", 0, "checkpoint memory budget for -fork, in MiB (0 = 64)")
 	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
@@ -167,6 +170,9 @@ func cmdRun(args []string) error {
 	c.RetryLimit = *retries
 	c.RetryBackoff = *retryBackoff
 	c.ExperimentTimeout = *timeout
+	c.Fork = *fork
+	c.CheckpointEvery = *cpEvery
+	c.CheckpointMem = *cpMem << 20
 	var ops goofi.TargetOperations = goofi.NewThorTarget()
 	factory := goofi.ThorTargetFactory()
 	if *chaos != "" {

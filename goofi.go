@@ -104,7 +104,19 @@ type (
 	Workload = workload.Spec
 	// EnvSimulator models the target's physical environment.
 	EnvSimulator = envsim.Simulator
+	// CheckpointStore is the optional multi-slot snapshot capability a target
+	// needs for golden-run checkpoint forking (Campaign.Fork): save/restore
+	// full system state keyed by cycle id, with export/import portability
+	// across sibling instances and byte-level cost accounting.
+	CheckpointStore = target.CheckpointStore
 )
+
+// AsCheckpointStore reports whether ops genuinely supports multi-slot
+// checkpointing — wrappers answer for their innermost target — and returns
+// the store surface of the outermost layer.
+func AsCheckpointStore(ops TargetOperations) (CheckpointStore, bool) {
+	return target.AsCheckpointStore(ops)
+}
 
 // Database and analysis.
 type (

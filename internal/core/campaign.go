@@ -71,6 +71,25 @@ type Campaign struct {
 	// the workload's cycle budget bounds execution. Engine knob, not
 	// persisted.
 	ExperimentTimeout time.Duration
+	// Fork enables golden-run checkpoint forking: the reference run snapshots
+	// the system at a grid of cycles plus every distinct first-injection time
+	// of the pre-drawn plans, and each experiment restores the nearest
+	// checkpoint at or before its first injection instead of re-executing the
+	// fault-free prefix. The logged rows and state vectors are bit-identical
+	// to a non-forking run of the same seed — plans are still drawn in
+	// experiment order from the single PRNG stream, only execution is
+	// reordered. Requires a target.CheckpointStore; engine knob, not
+	// persisted.
+	Fork bool
+	// CheckpointEvery is the reference-run checkpoint grid spacing in cycles.
+	// 0 picks an automatic grid of roughly InjectMaxTime/16. Engine knob.
+	CheckpointEvery uint64
+	// CheckpointMem bounds the checkpoint memory footprint in bytes — for the
+	// reference-run harvest and for each worker's imported pool alike. When
+	// the harvest overflows, the checkpoint closest to its predecessor is
+	// dropped (the cycle-0 snapshot is always kept); workers evict least
+	// recently used imports. 0 means 64 MiB. Engine knob.
+	CheckpointMem int64
 }
 
 // Row converts the campaign to its CampaignData representation.
@@ -170,6 +189,24 @@ func (c Campaign) Validate(ops target.Operations) error {
 		}
 		if c.DetailMode {
 			return fmt.Errorf("core: campaign %s: detail mode records per-instruction traces from reset and cannot be combined with checkpointing", c.Name)
+		}
+	}
+	if c.Fork {
+		switch c.Technique {
+		case TechSCIFI, TechPinLevel, TechSWIFIRuntime, TechSWIFIPre:
+		default:
+			return fmt.Errorf("core: campaign %s: checkpoint forking does not support technique %s (its injection points are not plan times)",
+				c.Name, c.Technique)
+		}
+		if _, ok := target.AsCheckpointStore(ops); !ok {
+			return fmt.Errorf("core: campaign %s: checkpoint forking needs a target with a checkpoint store; %s has none",
+				c.Name, ops.Name())
+		}
+		if c.DetailMode {
+			return fmt.Errorf("core: campaign %s: detail mode records per-instruction traces from reset and cannot be combined with checkpoint forking", c.Name)
+		}
+		if c.CheckpointMem < 0 {
+			return fmt.Errorf("core: campaign %s: negative checkpoint memory budget", c.Name)
 		}
 	}
 	if c.Technique == TechSCIFITriggered {

@@ -228,15 +228,16 @@ type runOutcome struct {
 	err error
 }
 
-// runRecovered invokes the technique with panic containment: a panicking
-// simulator becomes a transient experiment failure instead of process death.
-func runRecovered(tech technique, ops target.Operations, c Campaign, plan faultmodel.Plan) (exp Experiment, err error) {
+// runRecovered invokes the experiment body with panic containment: a
+// panicking simulator becomes a transient experiment failure instead of
+// process death.
+func runRecovered(run Algorithm, ops target.Operations, c Campaign, plan faultmodel.Plan) (exp Experiment, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = target.Transient(fmt.Errorf("core: panic during experiment: %v", p))
 		}
 	}()
-	return tech.run(ops, c, plan)
+	return run(ops, c, plan)
 }
 
 // runAttempt executes one experiment attempt. Targets with seeded behaviour
@@ -245,13 +246,13 @@ func runRecovered(tech technique, ops target.Operations, c Campaign, plan faultm
 // scheduling. With Campaign.ExperimentTimeout set, the attempt runs under a
 // wall-clock watchdog; on expiry errHung is returned and the attempt's
 // goroutine is abandoned together with the target it runs on.
-func (r *Runner) runAttempt(ops target.Operations, tech technique, plan faultmodel.Plan, idx, attempt int) (Experiment, error) {
+func (r *Runner) runAttempt(ops target.Operations, run Algorithm, plan faultmodel.Plan, idx, attempt int) (Experiment, error) {
 	c := r.campaign
 	if s, ok := ops.(target.ExperimentSeeder); ok {
 		s.SeedExperiment(c.Seed, idx, attempt)
 	}
 	if c.ExperimentTimeout <= 0 {
-		return runRecovered(tech, ops, c, plan)
+		return runRecovered(run, ops, c, plan)
 	}
 	type attemptResult struct {
 		exp Experiment
@@ -259,7 +260,7 @@ func (r *Runner) runAttempt(ops target.Operations, tech technique, plan faultmod
 	}
 	ch := make(chan attemptResult, 1)
 	go func() {
-		exp, err := runRecovered(tech, ops, c, plan)
+		exp, err := runRecovered(run, ops, c, plan)
 		ch <- attemptResult{exp: exp, err: err}
 	}()
 	timer := time.NewTimer(c.ExperimentTimeout)
@@ -278,11 +279,11 @@ func (r *Runner) runAttempt(ops target.Operations, tech technique, plan faultmod
 // reuse the already-drawn plan, so the campaign's seeded plan stream is never
 // consumed by fault tolerance. tid is the virtual thread the experiment's
 // engine-level spans are recorded under (0 = sequential/coordinator).
-func (r *Runner) runExperiment(ops target.Operations, tech technique, plan faultmodel.Plan, idx int, tid int32) runOutcome {
+func (r *Runner) runExperiment(ops target.Operations, run Algorithm, plan faultmodel.Plan, idx int, tid int32) runOutcome {
 	c := r.campaign
 	var out runOutcome
 	for attempt := 0; ; attempt++ {
-		exp, err := r.runAttempt(ops, tech, plan, idx, attempt)
+		exp, err := r.runAttempt(ops, run, plan, idx, attempt)
 		if err == nil {
 			out.exp = exp
 			return out
@@ -332,6 +333,9 @@ func (r *Runner) mintReplacement() (target.Operations, error) {
 	ops.SetDetailMode(r.campaign.DetailMode)
 	if cp, ok := ops.(target.Checkpointer); ok {
 		cp.ClearCheckpoint()
+	}
+	if cs, ok := target.AsCheckpointStore(ops); ok {
+		cs.DropCheckpoints()
 	}
 	return ops, nil
 }
@@ -434,6 +438,9 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 	if cp, ok := r.ops.(target.Checkpointer); ok {
 		cp.ClearCheckpoint()
 	}
+	if cs, ok := target.AsCheckpointStore(r.ops); ok {
+		cs.DropCheckpoints()
+	}
 
 	// One prefix-scan of the campaign's logged experiments answers every
 	// resume question below: a store failure is propagated rather than
@@ -445,6 +452,12 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 		return Summary{}, err
 	}
 
+	// Checkpoint forking runs its own golden reference (which doubles as the
+	// checkpoint harvest) and its own dispatch loop.
+	if c.Fork {
+		return r.runForked(tech, locs, logged, sum, &opsPoisoned)
+	}
+
 	// Reference run: the same algorithm with an empty plan (Fig. 2,
 	// makeReferenceRun), logged under <campaign>/ref. A stopped campaign
 	// that is re-run resumes instead of redoing completed work (the
@@ -453,7 +466,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 	// or exhausted budget aborts — the campaign is meaningless without it.
 	if !logged[c.Name+RefSuffix] {
 		gsp := r.Recorder.BeginGroup("reference", 0)
-		out := r.runExperiment(r.ops, tech, faultmodel.Plan{}, refIndex, 0)
+		out := r.runExperiment(r.ops, tech.run, faultmodel.Plan{}, refIndex, 0)
 		gsp.End()
 		sum.Retries += out.retries
 		switch {
@@ -504,7 +517,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			continue
 		}
 		gsp := r.Recorder.BeginGroup(name, 0)
-		out := r.runExperiment(ops, tech, plan, i, 0)
+		out := r.runExperiment(ops, tech.run, plan, i, 0)
 		gsp.End()
 		sum.Retries += out.retries
 		if out.err != nil {
@@ -701,6 +714,9 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		if cp, ok := ops.(target.Checkpointer); ok {
 			cp.ClearCheckpoint()
 		}
+		if cs, ok := target.AsCheckpointStore(ops); ok {
+			cs.DropCheckpoints()
+		}
 	}
 	var wg sync.WaitGroup
 	for w, ops := range targets {
@@ -721,7 +737,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 			for j := range jobCh {
 				res := parallelResult{idx: j.idx, name: j.name}
 				gsp := r.Recorder.BeginGroup(j.name, tid)
-				res.out = r.runExperiment(ops, tech, j.plan, j.idx, tid)
+				res.out = r.runExperiment(ops, tech.run, j.plan, j.idx, tid)
 				gsp.End()
 				if res.out.hung || res.out.failed {
 					// Quarantine: the target wedged (and is still owned by

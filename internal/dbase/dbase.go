@@ -137,7 +137,8 @@ CREATE TABLE IF NOT EXISTS CampaignRunMetrics (
 	phaseScanOutNs    INTEGER NOT NULL,
 	phaseScanInNs     INTEGER NOT NULL,
 	phaseMemoryNs     INTEGER NOT NULL,
-	phaseCheckpointNs INTEGER NOT NULL,
+	phaseCheckpointSaveNs    INTEGER NOT NULL,
+	phaseCheckpointRestoreNs INTEGER NOT NULL,
 	phaseRetryNs      INTEGER NOT NULL,
 	phaseFlushNs      INTEGER NOT NULL,
 	PRIMARY KEY (campaignName, runId, seq),

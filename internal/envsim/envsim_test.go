@@ -1,6 +1,7 @@
 package envsim
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -251,5 +252,78 @@ func TestRecorderStateful(t *testing.T) {
 	}
 	if err := r.RestoreState(3.14); err == nil {
 		t.Fatal("bad state should fail")
+	}
+}
+
+// TestRestoreStateRoundTrip pins the checkpoint contract of every built-in
+// Stateful simulator: snapshot, diverge, restore, and the simulator must
+// produce byte-identical trajectories from the snapshot point — including
+// the Recorder's history, which feeds the logged StateVector.
+func TestRestoreStateRoundTrip(t *testing.T) {
+	RegisterBuiltins()
+	for _, name := range []string{"echo", "jet-engine", "pendulum"} {
+		t.Run(name, func(t *testing.T) {
+			sim, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewRecorder(sim)
+			rec.Reset()
+			step := func(r *Recorder, i int) []uint32 {
+				return r.Step([]uint32{uint32(1000 + 17*i), uint32(i)})
+			}
+			for i := 0; i < 5; i++ {
+				step(rec, i)
+			}
+			snap := rec.SaveState()
+			wantHist := rec.History()
+
+			// Reference trajectory from the snapshot point.
+			var wantOut [][]uint32
+			for i := 5; i < 10; i++ {
+				wantOut = append(wantOut, step(rec, i))
+			}
+
+			// Diverge hard: different inputs, then a reset for good measure.
+			for i := 0; i < 7; i++ {
+				rec.Step([]uint32{0xFFFF, 9})
+			}
+			rec.Reset()
+
+			if err := rec.RestoreState(snap); err != nil {
+				t.Fatal(err)
+			}
+			if got := rec.History(); !reflect.DeepEqual(got, wantHist) {
+				t.Fatalf("restored history = %v, want %v", got, wantHist)
+			}
+			for i := 5; i < 10; i++ {
+				if got := step(rec, i); !reflect.DeepEqual(got, wantOut[i-5]) {
+					t.Fatalf("step %d after restore = %v, want %v", i, got, wantOut[i-5])
+				}
+			}
+			// The snapshot must survive the restore and further stepping:
+			// restoring it a second time replays the same trajectory.
+			if err := rec.RestoreState(snap); err != nil {
+				t.Fatal(err)
+			}
+			for i := 5; i < 10; i++ {
+				if got := step(rec, i); !reflect.DeepEqual(got, wantOut[i-5]) {
+					t.Fatalf("second replay step %d = %v, want %v", i, got, wantOut[i-5])
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreStateTypeMismatch covers the error paths.
+func TestRestoreStateTypeMismatch(t *testing.T) {
+	if err := NewJetEngine().RestoreState("bogus"); err == nil {
+		t.Error("jet-engine accepted a foreign snapshot")
+	}
+	if err := NewPendulum().RestoreState(42); err == nil {
+		t.Error("pendulum accepted a foreign snapshot")
+	}
+	if err := NewRecorder(NewEcho()).RestoreState(jetState{}); err == nil {
+		t.Error("recorder accepted a foreign snapshot")
 	}
 }

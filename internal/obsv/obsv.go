@@ -46,9 +46,12 @@ const (
 	PhaseScanIn
 	// PhaseMemory is test-card memory access through the host port.
 	PhaseMemory
-	// PhaseCheckpoint is snapshot save/restore of the scifi-checkpoint
-	// technique.
-	PhaseCheckpoint
+	// PhaseCheckpointSave is capturing a target snapshot: the scifi-checkpoint
+	// single slot and the forking engine's golden-run checkpoint grid
+	// (imports into a worker's pool are accounted here too).
+	PhaseCheckpointSave
+	// PhaseCheckpointRestore is rolling a target back to a saved snapshot.
+	PhaseCheckpointRestore
 	// PhaseRetry is backoff sleep between experiment retry attempts.
 	PhaseRetry
 	// PhaseFlush is persisting experiment rows to the campaign store.
@@ -58,15 +61,16 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	PhaseInit:       "target-init",
-	PhasePlan:       "plan",
-	PhaseWorkload:   "workload",
-	PhaseScanOut:    "scan-out",
-	PhaseScanIn:     "scan-in",
-	PhaseMemory:     "memory",
-	PhaseCheckpoint: "checkpoint",
-	PhaseRetry:      "retry-backoff",
-	PhaseFlush:      "store-flush",
+	PhaseInit:              "target-init",
+	PhasePlan:              "plan",
+	PhaseWorkload:          "workload",
+	PhaseScanOut:           "scan-out",
+	PhaseScanIn:            "scan-in",
+	PhaseMemory:            "memory",
+	PhaseCheckpointSave:    "checkpoint-save",
+	PhaseCheckpointRestore: "checkpoint-restore",
+	PhaseRetry:             "retry-backoff",
+	PhaseFlush:             "store-flush",
 }
 
 // String names the phase as it appears in metrics dumps and traces.

@@ -564,3 +564,55 @@ func TestChainWithOnlyReadOnlyFields(t *testing.T) {
 		t.Fatal("read-only field changed")
 	}
 }
+
+// TestTAPSnapshotRestore pins that a snapshot restores the controller
+// mid-walk: the FSM state, committed IR, shift stages and TCK count all
+// return to their captured values, and the restored controller behaves
+// exactly like the original from that point on.
+func TestTAPSnapshotRestore(t *testing.T) {
+	d := &testDevice{regA: 0x12345678, regB: 0x5A, ro: 1, flag: true}
+	tap := newTestTAP(t, d)
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	// Walk into the middle of an IR shift so the snapshot covers a
+	// non-trivial FSM state and shift stage.
+	tap.Clock(true, false)  // Select-DR
+	tap.Clock(true, false)  // Select-IR
+	tap.Clock(false, false) // Capture-IR
+	tap.Clock(false, true)  // Shift-IR, one bit in
+	snap := tap.Snapshot()
+	wantState, wantClocks := tap.State(), tap.Clocks()
+
+	// Diverge: finish a reset and a full read.
+	tap.Reset()
+	if err := tap.SelectChain("test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tap.ReadChain(); err != nil {
+		t.Fatal(err)
+	}
+
+	tap.RestoreSnapshot(snap)
+	if tap.State() != wantState || tap.Clocks() != wantClocks {
+		t.Fatalf("restored state=%v clocks=%d, want %v %d",
+			tap.State(), tap.Clocks(), wantState, wantClocks)
+	}
+	// The snapshot must stay valid for a second restore after more activity.
+	tap.Reset()
+	tap.RestoreSnapshot(snap)
+	if tap.State() != wantState || tap.Clocks() != wantClocks {
+		t.Fatal("second restore from the same snapshot diverged")
+	}
+	// From the restored point the controller must complete the interrupted
+	// IR shift and land in Run-Test/Idle exactly as an undisturbed walk.
+	for i := 1; i < 8; i++ {
+		tap.Clock(i == 7, false)
+	}
+	tap.Clock(true, false)  // Exit1-IR -> Update-IR
+	tap.Clock(false, false) // -> Run-Test/Idle
+	if tap.State() != StateRunTestIdle {
+		t.Fatalf("after resumed walk: state = %v", tap.State())
+	}
+}

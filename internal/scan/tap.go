@@ -222,6 +222,48 @@ func (t *TAP) captureDR(ch *Chain) {
 	t.captured = true
 }
 
+// TAPSnapshot is a value copy of the complete controller state — FSM state,
+// committed and shifting instruction register, DR shift stage, bypass bit and
+// TCK count — so a full-system checkpoint can restore the TAP alongside the
+// chains it fronts. The snapshot owns its DR stage copy and stays valid after
+// further TAP activity.
+type TAPSnapshot struct {
+	state    TAPState
+	ir       uint8
+	irShift  uint8
+	drShift  Bits
+	bypass   bool
+	clocks   uint64
+	captured bool
+}
+
+// Snapshot captures the controller state. The registered chain set is not
+// part of the snapshot: it is structural, not stateful, and chain contents
+// are checkpointed by the device (the CPU state the chains front).
+func (t *TAP) Snapshot() TAPSnapshot {
+	return TAPSnapshot{
+		state:    t.state,
+		ir:       t.ir,
+		irShift:  t.irShift,
+		drShift:  t.drShift.Clone(),
+		bypass:   t.bypass,
+		clocks:   t.clocks,
+		captured: t.captured,
+	}
+}
+
+// RestoreSnapshot copies a snapshot back into the controller. The snapshot
+// remains independently reusable (the DR stage is cloned again on restore).
+func (t *TAP) RestoreSnapshot(s TAPSnapshot) {
+	t.state = s.state
+	t.ir = s.ir
+	t.irShift = s.irShift
+	t.drShift = s.drShift.Clone()
+	t.bypass = s.bypass
+	t.clocks = s.clocks
+	t.captured = s.captured
+}
+
 // --- Host-side driver built purely on Clock ---
 
 // Reset drives five TMS-high clocks, guaranteeing Test-Logic-Reset from any

@@ -101,6 +101,43 @@ func (m *Machine) Write(addr, v uint16) error {
 	return nil
 }
 
+// State is a complete value snapshot of the machine, for checkpointing
+// targets built over it. The memory image is embedded by value, so a State
+// is independent of the machine it was taken from.
+type State struct {
+	A, PC     uint16
+	Mem       [MemWords]uint16
+	Status    Status
+	Mechanism string
+	Cycles    uint64
+	Out       []uint16
+}
+
+// SaveState captures the machine's complete state.
+func (m *Machine) SaveState() State {
+	return State{
+		A:         m.A,
+		PC:        m.PC,
+		Mem:       m.mem,
+		Status:    m.status,
+		Mechanism: m.mechanism,
+		Cycles:    m.cycles,
+		Out:       append([]uint16(nil), m.out...),
+	}
+}
+
+// RestoreState copies a snapshot back into the machine. The snapshot stays
+// independently reusable.
+func (m *Machine) RestoreState(s State) {
+	m.A = s.A
+	m.PC = s.PC
+	m.mem = s.Mem
+	m.status = s.Status
+	m.mechanism = s.Mechanism
+	m.cycles = s.Cycles
+	m.out = append([]uint16(nil), s.Out...)
+}
+
 func (m *Machine) detect(mechanism string) Status {
 	m.status = StatusDetected
 	m.mechanism = mechanism

@@ -116,9 +116,13 @@ type FlakyCounts struct {
 // of (campaign seed, experiment index, attempt index) — independent of worker
 // scheduling — and chaos campaigns stay bit-reproducible.
 //
-// Capability interfaces (Checkpointer, TriggerWaiter) are intentionally not
-// forwarded: a wrapped target reports only the generic operation surface, so
-// capability probes stay truthful for validation.
+// The single-slot capability interfaces (Checkpointer, TriggerWaiter) are
+// intentionally not forwarded: a wrapped target reports only the generic
+// operation surface, so capability probes stay truthful for validation.
+// CheckpointStore IS forwarded (with chaos on the save/restore/import paths)
+// because forking campaigns must be chaos-testable; validation stays truthful
+// through AsCheckpointStore, which requires the innermost target to hold the
+// capability for real.
 type Flaky struct {
 	Operations
 	cfg FlakyConfig
@@ -223,4 +227,75 @@ func (f *Flaky) WriteMemory(addr uint32, vals []uint32) error {
 		return err
 	}
 	return f.Operations.WriteMemory(addr, vals)
+}
+
+// Unwrap returns the wrapped target, for capability probes that need the
+// real implementation (AsCheckpointStore).
+func (f *Flaky) Unwrap() Operations { return f.Operations }
+
+// SaveCheckpointAt injects chaos into the checkpoint-save path.
+func (f *Flaky) SaveCheckpointAt(id uint64) error {
+	cs, ok := f.Operations.(CheckpointStore)
+	if !ok {
+		return ErrNotImplemented
+	}
+	if err := f.chaos("SaveCheckpointAt"); err != nil {
+		return err
+	}
+	return cs.SaveCheckpointAt(id)
+}
+
+// RestoreCheckpointAt injects chaos into the checkpoint-restore path.
+func (f *Flaky) RestoreCheckpointAt(id uint64) (bool, error) {
+	cs, ok := f.Operations.(CheckpointStore)
+	if !ok {
+		return false, ErrNotImplemented
+	}
+	if err := f.chaos("RestoreCheckpointAt"); err != nil {
+		return false, err
+	}
+	return cs.RestoreCheckpointAt(id)
+}
+
+// DropCheckpointAt forwards without chaos: dropping state cannot glitch.
+func (f *Flaky) DropCheckpointAt(id uint64) {
+	if cs, ok := f.Operations.(CheckpointStore); ok {
+		cs.DropCheckpointAt(id)
+	}
+}
+
+// DropCheckpoints forwards without chaos.
+func (f *Flaky) DropCheckpoints() {
+	if cs, ok := f.Operations.(CheckpointStore); ok {
+		cs.DropCheckpoints()
+	}
+}
+
+// CheckpointBytes forwards without chaos (pure accounting).
+func (f *Flaky) CheckpointBytes() int64 {
+	if cs, ok := f.Operations.(CheckpointStore); ok {
+		return cs.CheckpointBytes()
+	}
+	return 0
+}
+
+// ExportCheckpoint forwards without chaos (exports alias host memory; the
+// glitching surface is the target link, exercised by import/restore).
+func (f *Flaky) ExportCheckpoint(id uint64) (any, bool) {
+	if cs, ok := f.Operations.(CheckpointStore); ok {
+		return cs.ExportCheckpoint(id)
+	}
+	return nil, false
+}
+
+// ImportCheckpoint injects chaos into the pool-import path.
+func (f *Flaky) ImportCheckpoint(id uint64, snap any) error {
+	cs, ok := f.Operations.(CheckpointStore)
+	if !ok {
+		return ErrNotImplemented
+	}
+	if err := f.chaos("ImportCheckpoint"); err != nil {
+		return err
+	}
+	return cs.ImportCheckpoint(id, snap)
 }

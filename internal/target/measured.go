@@ -17,8 +17,8 @@ import (
 // yields a per-phase wall-clock breakdown.
 //
 // Unlike Flaky, Measured DOES forward the optional capability interfaces
-// (Checkpointer, TriggerWaiter, ExperimentSeeder) by probing the inner
-// target dynamically: instrumentation must be transparent, or switching on
+// (Checkpointer, CheckpointStore, TriggerWaiter, ExperimentSeeder) by probing
+// the inner target dynamically: instrumentation must be transparent, or switching on
 // -metrics-out would silently change which techniques a campaign can run.
 // The trade-off is that a capability probe against Measured is optimistic —
 // it answers for the wrapper, and an inner target without the capability
@@ -139,25 +139,25 @@ func (m *Measured) WriteMemory(addr uint32, vals []uint32) error {
 	return m.Operations.WriteMemory(addr, vals)
 }
 
-// SaveCheckpoint forwards Checkpointer, timed as checkpoint. An inner
+// SaveCheckpoint forwards Checkpointer, timed as checkpoint-save. An inner
 // target without the capability gets ErrNotImplemented.
 func (m *Measured) SaveCheckpoint() error {
 	cp, ok := m.Operations.(Checkpointer)
 	if !ok {
 		return ErrNotImplemented
 	}
-	sp := m.begin(obsv.PhaseCheckpoint)
+	sp := m.begin(obsv.PhaseCheckpointSave)
 	defer sp.End()
 	return cp.SaveCheckpoint()
 }
 
-// RestoreCheckpoint forwards Checkpointer, timed as checkpoint.
+// RestoreCheckpoint forwards Checkpointer, timed as checkpoint-restore.
 func (m *Measured) RestoreCheckpoint() (bool, error) {
 	cp, ok := m.Operations.(Checkpointer)
 	if !ok {
 		return false, ErrNotImplemented
 	}
-	sp := m.begin(obsv.PhaseCheckpoint)
+	sp := m.begin(obsv.PhaseCheckpointRestore)
 	defer sp.End()
 	return cp.RestoreCheckpoint()
 }
@@ -167,6 +167,71 @@ func (m *Measured) ClearCheckpoint() {
 	if cp, ok := m.Operations.(Checkpointer); ok {
 		cp.ClearCheckpoint()
 	}
+}
+
+// SaveCheckpointAt forwards CheckpointStore, timed as checkpoint-save.
+func (m *Measured) SaveCheckpointAt(id uint64) error {
+	cs, ok := m.Operations.(CheckpointStore)
+	if !ok {
+		return ErrNotImplemented
+	}
+	sp := m.begin(obsv.PhaseCheckpointSave)
+	defer sp.End()
+	return cs.SaveCheckpointAt(id)
+}
+
+// RestoreCheckpointAt forwards CheckpointStore, timed as checkpoint-restore.
+func (m *Measured) RestoreCheckpointAt(id uint64) (bool, error) {
+	cs, ok := m.Operations.(CheckpointStore)
+	if !ok {
+		return false, ErrNotImplemented
+	}
+	sp := m.begin(obsv.PhaseCheckpointRestore)
+	defer sp.End()
+	return cs.RestoreCheckpointAt(id)
+}
+
+// DropCheckpointAt forwards CheckpointStore (untimed: it only drops state).
+func (m *Measured) DropCheckpointAt(id uint64) {
+	if cs, ok := m.Operations.(CheckpointStore); ok {
+		cs.DropCheckpointAt(id)
+	}
+}
+
+// DropCheckpoints forwards CheckpointStore (untimed).
+func (m *Measured) DropCheckpoints() {
+	if cs, ok := m.Operations.(CheckpointStore); ok {
+		cs.DropCheckpoints()
+	}
+}
+
+// CheckpointBytes forwards CheckpointStore (untimed; 0 without the
+// capability).
+func (m *Measured) CheckpointBytes() int64 {
+	if cs, ok := m.Operations.(CheckpointStore); ok {
+		return cs.CheckpointBytes()
+	}
+	return 0
+}
+
+// ExportCheckpoint forwards CheckpointStore (untimed: exports alias).
+func (m *Measured) ExportCheckpoint(id uint64) (any, bool) {
+	if cs, ok := m.Operations.(CheckpointStore); ok {
+		return cs.ExportCheckpoint(id)
+	}
+	return nil, false
+}
+
+// ImportCheckpoint forwards CheckpointStore, timed as checkpoint-save (an
+// import is how a worker's pool acquires a snapshot).
+func (m *Measured) ImportCheckpoint(id uint64, snap any) error {
+	cs, ok := m.Operations.(CheckpointStore)
+	if !ok {
+		return ErrNotImplemented
+	}
+	sp := m.begin(obsv.PhaseCheckpointSave)
+	defer sp.End()
+	return cs.ImportCheckpoint(id, snap)
 }
 
 // WaitForTrigger forwards TriggerWaiter, timed as workload time.

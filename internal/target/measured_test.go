@@ -113,8 +113,11 @@ func TestMeasuredForwardsCapabilities(t *testing.T) {
 		t.Fatalf("restore = %v, %v", ok, err)
 	}
 	cp.ClearCheckpoint()
-	if rec.PhaseTotal(obsv.PhaseCheckpoint) <= 0 {
-		t.Error("checkpoint phase not recorded")
+	if rec.PhaseTotal(obsv.PhaseCheckpointSave) <= 0 {
+		t.Error("checkpoint-save phase not recorded")
+	}
+	if rec.PhaseTotal(obsv.PhaseCheckpointRestore) <= 0 {
+		t.Error("checkpoint-restore phase not recorded")
 	}
 }
 

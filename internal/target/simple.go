@@ -23,7 +23,16 @@ type SimpleTarget struct {
 	BaseTarget
 	m *simple.Machine
 	w workload.Spec
+
+	// cpstore implements CheckpointStore over full machine-state snapshots:
+	// the machine's 8 KiB image is small enough that delta encoding would
+	// buy nothing, so every snapshot is a complete simple.State.
+	cpstore map[uint64]*simple.State
 }
+
+// simpleStateBytes is the accounting weight of one machine snapshot: the
+// memory image plus registers, counters and slice headers.
+const simpleStateBytes = int64(simple.MemWords*2 + 128)
 
 // NewSimpleTarget builds the accumulator-machine target.
 func NewSimpleTarget() *SimpleTarget { return &SimpleTarget{m: simple.New()} }
@@ -127,6 +136,59 @@ func (t *SimpleTarget) WaitForTermination(spec TerminationSpec) (Termination, er
 
 // MemLayout reports the machine's word-addressed memory as bytes.
 func (t *SimpleTarget) MemLayout() (uint32, uint32) { return simple.MemWords * 4, 0 }
+
+// SaveCheckpointAt snapshots the machine state under id (CheckpointStore).
+func (t *SimpleTarget) SaveCheckpointAt(id uint64) error {
+	if t.cpstore == nil {
+		t.cpstore = make(map[uint64]*simple.State)
+	}
+	st := t.m.SaveState()
+	t.cpstore[id] = &st
+	return nil
+}
+
+// RestoreCheckpointAt restores the snapshot saved under id, reporting false
+// when the store holds none (CheckpointStore).
+func (t *SimpleTarget) RestoreCheckpointAt(id uint64) (bool, error) {
+	st, ok := t.cpstore[id]
+	if !ok {
+		return false, nil
+	}
+	t.m.RestoreState(*st)
+	return true, nil
+}
+
+// DropCheckpointAt discards the snapshot saved under id (CheckpointStore).
+func (t *SimpleTarget) DropCheckpointAt(id uint64) { delete(t.cpstore, id) }
+
+// DropCheckpoints discards every snapshot (CheckpointStore).
+func (t *SimpleTarget) DropCheckpoints() { t.cpstore = nil }
+
+// CheckpointBytes estimates the store's footprint (CheckpointStore).
+func (t *SimpleTarget) CheckpointBytes() int64 {
+	return int64(len(t.cpstore)) * simpleStateBytes
+}
+
+// ExportCheckpoint hands out a snapshot as an opaque immutable value
+// (CheckpointStore).
+func (t *SimpleTarget) ExportCheckpoint(id uint64) (any, bool) {
+	st, ok := t.cpstore[id]
+	return st, ok
+}
+
+// ImportCheckpoint installs a snapshot exported by a sibling instance
+// (CheckpointStore).
+func (t *SimpleTarget) ImportCheckpoint(id uint64, snap any) error {
+	st, ok := snap.(*simple.State)
+	if !ok || st == nil {
+		return fmt.Errorf("target: import checkpoint %d: not a simple-machine snapshot (%T)", id, snap)
+	}
+	if t.cpstore == nil {
+		t.cpstore = make(map[uint64]*simple.State)
+	}
+	t.cpstore[id] = st
+	return nil
+}
 
 // SimpleChecksumWorkload describes the built-in checksum program of
 // SimpleTarget in workload.Spec terms, so the standard campaign machinery

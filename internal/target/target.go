@@ -162,6 +162,65 @@ type Checkpointer interface {
 	ClearCheckpoint()
 }
 
+// CheckpointStore generalises Checkpointer to many snapshots addressed by
+// caller-chosen ids — the capability behind the core engine's golden-run
+// checkpoint forking. The forking engine uses reference-run cycle counts as
+// ids: it snapshots along the golden run, then starts each experiment from
+// the nearest checkpoint at or before its first injection time.
+//
+// Exported snapshots are opaque immutable values. They may be imported into
+// any sibling instance minted from the same Factory (same configuration);
+// this is how the parallel runner distributes the coordinator's golden-run
+// checkpoints to its worker pool. Implementations are expected to share
+// large state (the golden memory image) between snapshots, so CheckpointBytes
+// reports owned bytes — the quantity a memory budget meaningfully bounds.
+type CheckpointStore interface {
+	// SaveCheckpointAt snapshots the complete system state under id,
+	// replacing any snapshot previously saved under it.
+	SaveCheckpointAt(id uint64) error
+	// RestoreCheckpointAt restores the snapshot saved under id, reporting
+	// false when the store holds none.
+	RestoreCheckpointAt(id uint64) (bool, error)
+	// DropCheckpointAt discards the snapshot saved under id, if any.
+	DropCheckpointAt(id uint64)
+	// DropCheckpoints discards every snapshot in the store.
+	DropCheckpoints()
+	// CheckpointBytes estimates the store's owned memory footprint.
+	CheckpointBytes() int64
+	// ExportCheckpoint returns the snapshot saved under id as an opaque
+	// immutable value, or false when the store holds none.
+	ExportCheckpoint(id uint64) (snap any, ok bool)
+	// ImportCheckpoint installs a previously exported snapshot under id.
+	// Shape validation happens at restore time, so instances may import
+	// before they are initialised.
+	ImportCheckpoint(id uint64, snap any) error
+}
+
+// AsCheckpointStore probes ops for a usable CheckpointStore. Wrapper layers
+// (Measured, Flaky) forward the capability optimistically — they answer for
+// themselves and surface ErrNotImplemented only at call time — so this
+// helper unwraps to the innermost target and requires the capability to be
+// real there, while returning the outermost store so instrumentation and
+// chaos stay in the call path.
+func AsCheckpointStore(ops Operations) (CheckpointStore, bool) {
+	outer, ok := ops.(CheckpointStore)
+	if !ok {
+		return nil, false
+	}
+	inner := ops
+	for {
+		u, ok := inner.(interface{ Unwrap() Operations })
+		if !ok {
+			break
+		}
+		inner = u.Unwrap()
+	}
+	if _, ok := inner.(CheckpointStore); !ok {
+		return nil, false
+	}
+	return outer, true
+}
+
 // TriggerWaiter is the optional capability behind the scifi-triggered
 // technique: running until an event trigger fires.
 type TriggerWaiter interface {

@@ -37,16 +37,31 @@ type ThorTarget struct {
 	detail bool
 	trace  []TraceEntry
 
-	snap *thorSnapshot
+	// cpstore is the CheckpointStore: snapshots keyed by caller id. The
+	// first snapshot saved (goldenCP) keeps a full memory image; later saves
+	// store page deltas against it, so a forking campaign's checkpoint grid
+	// costs one image plus the divergent pages. cpBytes tracks the owned
+	// footprint for the engine's memory budget.
+	cpstore  map[uint64]*thorSnapshot
+	goldenCP *thor.Checkpoint
+	cpBytes  int64
 }
 
-// thorSnapshot is a Checkpointer snapshot: the CPU checkpoint plus the debug
-// registers and environment-simulator state it does not cover.
+// legacySlot is the CheckpointStore id backing the single-slot Checkpointer
+// interface, out of the way of the forking engine's cycle-count ids.
+const legacySlot = ^uint64(0)
+
+// thorSnapshot is one stored snapshot: the CPU checkpoint plus the debug
+// registers, TAP controller stage and environment-simulator state it does
+// not cover. Snapshots are immutable once taken and may be shared between
+// sibling ThorTarget instances via Export/ImportCheckpoint.
 type thorSnapshot struct {
 	cpu    *thor.Checkpoint
 	debug  thor.Debug
+	tap    scan.TAPSnapshot
 	env    any
 	hasEnv bool
+	bytes  int64
 }
 
 // NewThorTarget builds a Thor target with the given simulator configuration.
@@ -386,45 +401,129 @@ func (t *ThorTarget) EnvHistory() [][]uint32 {
 	return t.env.History()
 }
 
-// SaveCheckpoint snapshots the complete system state: CPU checkpoint, debug
-// registers and environment-simulator state.
-func (t *ThorTarget) SaveCheckpoint() error {
+// SaveCheckpoint snapshots the complete system state into the single legacy
+// slot (Checkpointer).
+func (t *ThorTarget) SaveCheckpoint() error { return t.SaveCheckpointAt(legacySlot) }
+
+// RestoreCheckpoint restores the legacy-slot snapshot, reporting false when
+// none was saved (Checkpointer).
+func (t *ThorTarget) RestoreCheckpoint() (bool, error) { return t.RestoreCheckpointAt(legacySlot) }
+
+// ClearCheckpoint discards the legacy-slot snapshot (Checkpointer).
+func (t *ThorTarget) ClearCheckpoint() { t.DropCheckpointAt(legacySlot) }
+
+// SaveCheckpointAt snapshots the complete system state — CPU (registers,
+// memory, caches), debug registers, TAP controller stage and environment
+// simulator — under id (CheckpointStore). The first snapshot taken carries a
+// full memory image; subsequent ones delta against it.
+func (t *ThorTarget) SaveCheckpointAt(id uint64) error {
 	if t.sys == nil {
 		return errNotInitialised
 	}
-	snap := &thorSnapshot{cpu: t.sys.CPU.Checkpoint(), debug: *t.sys.Debug}
+	var cpu *thor.Checkpoint
+	if t.goldenCP == nil {
+		cpu = t.sys.CPU.Checkpoint()
+		t.goldenCP = cpu
+	} else {
+		var err error
+		if cpu, err = t.sys.CPU.CheckpointDelta(t.goldenCP); err != nil {
+			return fmt.Errorf("target: save checkpoint %d: %w", id, err)
+		}
+	}
+	snap := &thorSnapshot{cpu: cpu, debug: *t.sys.Debug, tap: t.tap.Snapshot()}
 	if t.env != nil {
 		snap.env = t.env.SaveState()
 		snap.hasEnv = true
 	}
-	t.snap = snap
+	snap.bytes = cpu.Bytes()
+	t.putSnapshot(id, snap)
 	return nil
 }
 
-// RestoreCheckpoint restores the saved snapshot in place (scan chains stay
-// bound to the live state), reporting false when none was saved.
-func (t *ThorTarget) RestoreCheckpoint() (bool, error) {
-	if t.snap == nil {
+// putSnapshot installs a snapshot under id, keeping the byte accounting.
+func (t *ThorTarget) putSnapshot(id uint64, snap *thorSnapshot) {
+	if t.cpstore == nil {
+		t.cpstore = make(map[uint64]*thorSnapshot)
+	}
+	if old, ok := t.cpstore[id]; ok {
+		t.cpBytes -= old.bytes
+	}
+	t.cpstore[id] = snap
+	t.cpBytes += snap.bytes
+}
+
+// RestoreCheckpointAt restores the snapshot saved under id in place (scan
+// chains stay bound to the live state), reporting false when the store holds
+// none (CheckpointStore). The snapshot itself stays valid for further
+// restores, on this instance or any sibling it is exported to.
+func (t *ThorTarget) RestoreCheckpointAt(id uint64) (bool, error) {
+	snap, ok := t.cpstore[id]
+	if !ok {
 		return false, nil
 	}
 	if t.sys == nil {
 		return false, errNotInitialised
 	}
-	if err := t.sys.CPU.Restore(t.snap.cpu); err != nil {
-		return false, fmt.Errorf("target: restore checkpoint: %w", err)
+	if err := t.sys.CPU.Restore(snap.cpu); err != nil {
+		return false, fmt.Errorf("target: restore checkpoint %d: %w", id, err)
 	}
-	*t.sys.Debug = t.snap.debug
-	if t.snap.hasEnv && t.env != nil {
-		if err := t.env.RestoreState(t.snap.env); err != nil {
-			return false, fmt.Errorf("target: restore checkpoint: %w", err)
+	*t.sys.Debug = snap.debug
+	t.tap.RestoreSnapshot(snap.tap)
+	if snap.hasEnv && t.env != nil {
+		if err := t.env.RestoreState(snap.env); err != nil {
+			return false, fmt.Errorf("target: restore checkpoint %d: %w", id, err)
 		}
 	}
 	t.trace = nil
 	return true, nil
 }
 
-// ClearCheckpoint discards the saved snapshot.
-func (t *ThorTarget) ClearCheckpoint() { t.snap = nil }
+// DropCheckpointAt discards the snapshot saved under id (CheckpointStore).
+// When the store empties, the golden image is released so the next save
+// starts a fresh full-image generation.
+func (t *ThorTarget) DropCheckpointAt(id uint64) {
+	snap, ok := t.cpstore[id]
+	if !ok {
+		return
+	}
+	t.cpBytes -= snap.bytes
+	delete(t.cpstore, id)
+	if len(t.cpstore) == 0 {
+		t.goldenCP = nil
+		t.cpBytes = 0
+	}
+}
+
+// DropCheckpoints discards every snapshot (CheckpointStore).
+func (t *ThorTarget) DropCheckpoints() {
+	t.cpstore = nil
+	t.goldenCP = nil
+	t.cpBytes = 0
+}
+
+// CheckpointBytes estimates the store's owned footprint (CheckpointStore).
+// Imported snapshots alias their exporter's golden image, so only divergent
+// pages count for them.
+func (t *ThorTarget) CheckpointBytes() int64 { return t.cpBytes }
+
+// ExportCheckpoint hands out the snapshot saved under id as an opaque
+// immutable value (CheckpointStore).
+func (t *ThorTarget) ExportCheckpoint(id uint64) (any, bool) {
+	snap, ok := t.cpstore[id]
+	return snap, ok
+}
+
+// ImportCheckpoint installs a snapshot exported by a sibling instance
+// (CheckpointStore). Shape compatibility with this instance's configuration
+// is validated at restore time, so importing before InitTestCard is legal.
+func (t *ThorTarget) ImportCheckpoint(id uint64, snap any) error {
+	ts, ok := snap.(*thorSnapshot)
+	if !ok || ts == nil {
+		return fmt.Errorf("target: import checkpoint %d: not a thor snapshot (%T)", id, snap)
+	}
+	t.putSnapshot(id, ts)
+	return nil
+}
 
 // WaitForTrigger steps the workload until the event trigger fires, bounded
 // by the cycle budget and the workload's iteration bound.
