@@ -14,7 +14,7 @@ BENCHCOUNT ?= 6
 OLD ?= BENCH_old.json
 NEW ?= BENCH_campaign.json
 
-.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke ci
+.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke ci
 
 all: ci
 
@@ -31,10 +31,11 @@ test:
 # in internal/core, the packed bitset + TAP fast path in internal/scan,
 # the chaos/retry taxonomy and the checkpoint stores in internal/target,
 # the delta snapshot scheme in internal/thor, the restorable plant models
-# in internal/envsim, and the concurrent recorder/broadcaster in
-# internal/obsv; run all six under the race detector on every change.
+# in internal/envsim, the concurrent recorder/broadcaster in
+# internal/obsv, and the WAL group-commit machinery in internal/sqldb;
+# run all seven under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. The raw text lands in
@@ -71,14 +72,22 @@ cover:
 FUZZTIME ?= 5s
 
 # Short coverage-guided fuzz of the hostile-input surfaces: the SQL
-# lexer/parser, the packed scan-chain codec and the page-delta checkpoint
-# round-trip. `go test -fuzz` takes one target per invocation, hence four
-# runs.
+# lexer/parser, the WAL record codec/replay, the packed scan-chain codec
+# and the page-delta checkpoint round-trip. `go test -fuzz` takes one
+# target per invocation, hence five runs.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME) ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzBitsPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/scan
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDelta$$' -fuzztime $(FUZZTIME) ./internal/thor
+
+# SIGKILL crash-recovery smoke: a handful of live campaigns killed at
+# seeded random points, recovered from the WAL, resumed to completion and
+# verified row-for-row against a no-crash reference run. The full
+# acceptance sweep is `go run ./cmd/crashtest -n 20`.
+crashsmoke:
+	$(GO) run ./cmd/crashtest -n 5 -experiments 80 -seed 7
 
 # After benchsmoke, gate the smoke numbers against the committed full-run
 # baseline BENCH_campaign.json. Time only (-metrics ns): allocation
@@ -87,5 +96,5 @@ fuzzsmoke:
 # (75%): the smoke run is short and lands on whatever machine CI uses,
 # so only order-of-magnitude regressions — a forked campaign falling
 # back to the plain path, a capture turning quadratic — should trip it.
-ci: vet build test race benchsmoke fuzzsmoke
+ci: vet build test race benchsmoke fuzzsmoke crashsmoke
 	$(GO) run ./cmd/goofi-bench -diff BENCH_campaign.json -tolerance 75 -metrics ns BENCH_smoke.json

@@ -1,0 +1,490 @@
+// Command crashtest is the blackbox durability harness for the WAL-backed
+// campaign store: it SIGKILLs a live chaos campaign at a random seeded point,
+// reopens the store, and verifies that recovery honours the ack contract —
+// every experiment the store acknowledged before the kill is present after
+// reopen — then resumes the campaign to completion and checks that the
+// resumed campaign's rows and analysis are bit-identical to a no-crash
+// reference run.
+//
+// The methodology follows the classic storage-engine blackbox test: the
+// parent forks a child process that runs the campaign against a
+// strict-sync WAL store and prints "ACK <experiment>" to stdout only after
+// the store call returns — which, under SyncEvery=1, is after the record is
+// fsynced. The parent kills the child with SIGKILL (no cleanup, no atexit)
+// after a seeded random delay, so kills land in every window: mid group
+// commit, mid image write, between a checkpoint's image rename and its log
+// reset, or after completion. An aggressively small auto-checkpoint
+// threshold makes the checkpoint windows common rather than rare.
+//
+// The acked set is a one-directional oracle: acked ⊆ recovered. Recovery may
+// legitimately hold more (records fsynced but killed before the ack line was
+// written); it may never hold less, and resume may never double-apply — the
+// final store must hold exactly NExperiments + 1 rows (the reference run)
+// and match the no-crash reference byte for byte.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"goofi"
+	"goofi/internal/core"
+	"goofi/internal/dbase"
+	"goofi/internal/faultmodel"
+	"goofi/internal/sqldb"
+)
+
+// childEnv carries the child's JSON config; its presence switches the binary
+// (and the test binary, via TestMain) into child mode.
+const childEnv = "GOOFI_CRASHTEST_CHILD"
+
+func main() {
+	if maybeRunChild() {
+		return
+	}
+	opt := options{}
+	flag.IntVar(&opt.Iterations, "n", 20, "SIGKILL iterations")
+	flag.Int64Var(&opt.Seed, "seed", 1, "base seed; iteration i uses seed+i for campaign and kill timing")
+	flag.IntVar(&opt.Experiments, "experiments", 200, "experiments per campaign")
+	flag.StringVar(&opt.Chaos, "chaos", "err=0.03,panic=0.01,seed=7", "chaos spec for the campaign target (empty = none)")
+	flag.Int64Var(&opt.CheckpointBytes, "checkpoint-bytes", 32<<10, "WAL auto-checkpoint threshold (small = frequent checkpoint crash windows)")
+	flag.BoolVar(&opt.Verbose, "v", false, "per-iteration detail")
+	flag.Parse()
+	if err := runHarness(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		os.Exit(1)
+	}
+}
+
+// options configures one harness run.
+type options struct {
+	Iterations      int
+	Seed            int64
+	Experiments     int
+	Chaos           string
+	CheckpointBytes int64
+	Verbose         bool
+}
+
+// childConfig is what the parent hands the child through childEnv.
+type childConfig struct {
+	DB              string `json:"db"`
+	Campaign        string `json:"campaign"`
+	Chaos           string `json:"chaos"`
+	CheckpointBytes int64  `json:"checkpointBytes"`
+}
+
+// runHarness executes opt.Iterations crash-recover-resume-verify cycles.
+func runHarness(out *os.File, opt options) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	killed, completed := 0, 0
+	for i := 0; i < opt.Iterations; i++ {
+		res, err := runIteration(exe, opt, i)
+		if err != nil {
+			return fmt.Errorf("iteration %d (seed %d): %w", i, opt.Seed+int64(i), err)
+		}
+		if res.killedLive {
+			killed++
+		} else {
+			completed++
+		}
+		if opt.Verbose {
+			fmt.Fprintf(out, "iter %2d: seed=%d kill=%v acked=%d recovered=%d resumed=%d %s\n",
+				i, opt.Seed+int64(i), res.killDelay, res.acked, res.recovered, res.resumed, res.outcome)
+		}
+	}
+	fmt.Fprintf(out, "crashtest PASS: %d iterations (%d killed live, %d completed before the kill), %d experiments each\n",
+		opt.Iterations, killed, completed, opt.Experiments)
+	return nil
+}
+
+// iterResult summarises one iteration for the verbose log.
+type iterResult struct {
+	killDelay  time.Duration
+	acked      int
+	recovered  int
+	resumed    int
+	killedLive bool
+	outcome    string
+}
+
+// campaignFor builds the iteration's campaign definition — the canonical
+// chaos-campaign shape of the repo's golden tests, seeded per iteration.
+func campaignFor(name string, seed int64, n int) (goofi.Campaign, error) {
+	w, err := goofi.GetWorkload("bubblesort")
+	if err != nil {
+		return goofi.Campaign{}, err
+	}
+	m, err := faultmodel.ParseModel("transient")
+	if err != nil {
+		return goofi.Campaign{}, err
+	}
+	return goofi.Campaign{
+		Name:           name,
+		Workload:       w,
+		Technique:      goofi.TechSCIFI,
+		Model:          m,
+		LocationFilter: "chain:internal.core",
+		NExperiments:   n,
+		Seed:           seed,
+		InjectMinTime:  10,
+		InjectMaxTime:  1400,
+	}, nil
+}
+
+// chaosOps wraps a fresh Thor target in the iteration's chaos layer and arms
+// the retry budget the chaos needs. Hang chaos is deliberately absent from
+// the default spec: watchdog timeouts depend on wall-clock and would break
+// the bit-identical reference comparison.
+func chaosOps(spec string, c *goofi.Campaign) (goofi.TargetOperations, error) {
+	var ops goofi.TargetOperations = goofi.NewThorTarget()
+	if spec == "" {
+		return ops, nil
+	}
+	cfg, err := goofi.ParseFlakyConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 3
+	}
+	return goofi.NewFlakyTarget(ops, cfg), nil
+}
+
+func runIteration(exe string, opt options, iter int) (iterResult, error) {
+	var res iterResult
+	seed := opt.Seed + int64(iter)
+	rng := rand.New(rand.NewSource(seed))
+	campaign := fmt.Sprintf("crash-%03d", iter)
+
+	dir, err := os.MkdirTemp("", "goofi-crashtest-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "campaign.db")
+
+	// Stage the store: target inventory + campaign definition, durably
+	// saved, so the child only opens and runs (its kill window covers the
+	// reference run, the experiments, flushes and checkpoints).
+	c, err := campaignFor(campaign, seed, opt.Experiments)
+	if err != nil {
+		return res, err
+	}
+	if err := stageStore(dbPath, c); err != nil {
+		return res, err
+	}
+
+	// Fork the child and kill it after a seeded delay sized so kills land
+	// anywhere from before the first ack to after completion.
+	horizon := 25*time.Millisecond + time.Duration(opt.Experiments)*500*time.Microsecond
+	res.killDelay = time.Duration(rng.Int63n(int64(horizon)))
+	cfg, err := json.Marshal(childConfig{
+		DB: dbPath, Campaign: campaign,
+		Chaos: opt.Chaos, CheckpointBytes: opt.CheckpointBytes,
+	})
+	if err != nil {
+		return res, err
+	}
+	acked, childDone, err := runAndKill(exe, string(cfg), res.killDelay)
+	if err != nil {
+		return res, err
+	}
+	res.acked = len(acked)
+	res.killedLive = !childDone
+
+	// Verify the ack contract on the crashed store through the plain
+	// (read-only recovery) open path.
+	recovered, err := recoveredNames(dbPath, campaign)
+	if err != nil {
+		return res, err
+	}
+	res.recovered = len(recovered)
+	for _, name := range acked {
+		if !recovered[name] {
+			return res, fmt.Errorf("acknowledged experiment %s lost after SIGKILL (acked %d, recovered %d)",
+				name, len(acked), len(recovered))
+		}
+	}
+
+	// Resume to completion on the WAL store, then verify no double-counting
+	// and bit-identity against a no-crash in-memory reference run.
+	got, gotReport, resumedCount, err := resumeCampaign(dbPath, c, opt)
+	if err != nil {
+		return res, err
+	}
+	res.resumed = resumedCount
+	if len(got) != opt.Experiments+1 { // + the golden reference run
+		return res, fmt.Errorf("after resume: %d rows, want %d (double-counted or lost)",
+			len(got), opt.Experiments+1)
+	}
+	want, wantReport, err := referenceRun(c, opt)
+	if err != nil {
+		return res, err
+	}
+	if len(got) != len(want) {
+		return res, fmt.Errorf("resumed rows %d != reference rows %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return res, fmt.Errorf("experiment %s differs between resumed and no-crash run:\n got %+v\nwant %+v",
+				want[i].ExperimentName, got[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(gotReport, wantReport) {
+		return res, fmt.Errorf("analysis diverged:\n resumed   %+v\n reference %+v", gotReport, wantReport)
+	}
+	if childDone {
+		res.outcome = "completed-before-kill"
+	} else {
+		res.outcome = fmt.Sprintf("killed live, recovered+resumed to %d rows", len(got))
+	}
+	return res, nil
+}
+
+// stageStore creates the campaign database the child will run against.
+func stageStore(dbPath string, c goofi.Campaign) error {
+	store, err := dbase.OpenStore(dbPath)
+	if err != nil {
+		return err
+	}
+	ops := goofi.NewThorTarget()
+	if err := goofi.RegisterTarget(store, ops, "crashtest target"); err != nil {
+		return err
+	}
+	if err := c.Validate(ops); err != nil {
+		return err
+	}
+	if err := store.PutCampaign(c.Row(ops.Name())); err != nil {
+		return err
+	}
+	return store.Save()
+}
+
+// runAndKill starts the child campaign process, SIGKILLs it after delay, and
+// returns the experiments it acknowledged plus whether it finished first.
+// The stdout pipe is drained to EOF even after the kill: an ACK line the
+// child wrote before dying testifies to an fsynced record regardless of when
+// the parent reads it.
+func runAndKill(exe, cfgJSON string, delay time.Duration) (acked []string, done bool, err error) {
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), childEnv+"="+cfgJSON)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, false, err
+	}
+	killer := time.AfterFunc(delay, func() { _ = cmd.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "ACK "):
+			acked = append(acked, strings.TrimPrefix(line, "ACK "))
+		case line == "DONE":
+			done = true
+		}
+	}
+	waitErr := cmd.Wait()
+	killedInTime := !killer.Stop() // the timer fired (though the child may have exited first)
+	if waitErr != nil && !killedInTime {
+		return nil, false, fmt.Errorf("child failed before the kill: %w", waitErr)
+	}
+	if done && waitErr == nil {
+		return acked, true, nil
+	}
+	return acked, false, nil
+}
+
+// recoveredNames opens the crashed store via the plain recovery path and
+// returns the experiment rows it holds.
+func recoveredNames(dbPath, campaign string) (map[string]bool, error) {
+	store, err := dbase.OpenStore(dbPath)
+	if err != nil {
+		return nil, fmt.Errorf("reopen crashed store: %w", err)
+	}
+	return store.ExperimentNames(campaign)
+}
+
+// resumeCampaign reopens the crashed store in WAL mode and runs the campaign
+// to completion, returning the final experiment rows, the analysis report
+// and how many experiments the resumed run executed (vs skipped as already
+// logged).
+func resumeCampaign(dbPath string, c goofi.Campaign, opt options) ([]dbase.ExperimentRow, goofi.Report, int, error) {
+	store, err := dbase.OpenStoreWAL(dbPath, sqldb.WALOptions{SyncEvery: 1, CheckpointBytes: opt.CheckpointBytes})
+	if err != nil {
+		return nil, goofi.Report{}, 0, fmt.Errorf("reopen for resume: %w", err)
+	}
+	defer store.Close()
+	ops, err := chaosOps(opt.Chaos, &c)
+	if err != nil {
+		return nil, goofi.Report{}, 0, err
+	}
+	r := core.NewRunner(ops, store, c)
+	sum, err := r.Run(context.Background())
+	if err != nil {
+		return nil, goofi.Report{}, 0, fmt.Errorf("resume run: %w", err)
+	}
+	if sum.Completed+sum.Skipped != c.NExperiments {
+		return nil, goofi.Report{}, 0, fmt.Errorf("resume accounting: completed %d + skipped %d != %d",
+			sum.Completed, sum.Skipped, c.NExperiments)
+	}
+	report, err := goofi.Analyze(store, c.Name)
+	if err != nil {
+		return nil, goofi.Report{}, 0, err
+	}
+	rows, err := store.Experiments(c.Name)
+	if err != nil {
+		return nil, goofi.Report{}, 0, err
+	}
+	if err := store.Save(); err != nil {
+		return nil, goofi.Report{}, 0, err
+	}
+	return rows, report, sum.Completed, nil
+}
+
+// referenceRun executes the same campaign start-to-finish in memory — the
+// no-crash truth the recovered store must match bit for bit.
+func referenceRun(c goofi.Campaign, opt options) ([]dbase.ExperimentRow, goofi.Report, error) {
+	store, err := dbase.NewMemoryStore()
+	if err != nil {
+		return nil, goofi.Report{}, err
+	}
+	ops := goofi.NewThorTarget()
+	if err := goofi.RegisterTarget(store, ops, "crashtest target"); err != nil {
+		return nil, goofi.Report{}, err
+	}
+	if err := store.PutCampaign(c.Row(ops.Name())); err != nil {
+		return nil, goofi.Report{}, err
+	}
+	cops, err := chaosOps(opt.Chaos, &c)
+	if err != nil {
+		return nil, goofi.Report{}, err
+	}
+	r := core.NewRunner(cops, store, c)
+	if _, err := r.Run(context.Background()); err != nil {
+		return nil, goofi.Report{}, fmt.Errorf("reference run: %w", err)
+	}
+	report, err := goofi.Analyze(store, c.Name)
+	if err != nil {
+		return nil, goofi.Report{}, err
+	}
+	rows, err := store.Experiments(c.Name)
+	if err != nil {
+		return nil, goofi.Report{}, err
+	}
+	return rows, report, nil
+}
+
+// --- child mode ---
+
+// maybeRunChild runs the child campaign when childEnv is set (and then exits
+// the process) and reports false otherwise. Called first thing from both
+// main() and TestMain, so the same binary serves as parent and victim.
+func maybeRunChild() bool {
+	cfgJSON := os.Getenv(childEnv)
+	if cfgJSON == "" {
+		return false
+	}
+	os.Exit(runChild(cfgJSON))
+	return true // unreachable
+}
+
+// runChild opens the store in strict-sync WAL mode, runs the campaign and
+// prints "ACK <experiment>" after every store acknowledgement — which under
+// SyncEvery=1 means after the record hit disk. It is meant to die by SIGKILL
+// at any point; everything it claims via ACK must survive that.
+func runChild(cfgJSON string) int {
+	var cfg childConfig
+	if err := json.Unmarshal([]byte(cfgJSON), &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child: bad config:", err)
+		return 2
+	}
+	store, err := dbase.OpenStoreWAL(cfg.DB, sqldb.WALOptions{SyncEvery: 1, CheckpointBytes: cfg.CheckpointBytes})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child:", err)
+		return 1
+	}
+	row, err := store.GetCampaign(cfg.Campaign)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child:", err)
+		return 1
+	}
+	c, err := goofi.CampaignFromRow(row)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child:", err)
+		return 1
+	}
+	ops, err := chaosOps(cfg.Chaos, &c)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child:", err)
+		return 1
+	}
+	r := core.NewRunner(ops, &ackStore{Store: store, w: os.Stdout}, c)
+	if _, err := r.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child: run:", err)
+		return 1
+	}
+	if err := store.Save(); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child: save:", err)
+		return 1
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest child: close:", err)
+		return 1
+	}
+	fmt.Println("DONE")
+	return 0
+}
+
+// ackStore decorates the campaign store with the ack protocol: an "ACK"
+// line is emitted only after the wrapped call returned, i.e. after the WAL
+// record was fsynced under the strict sync policy. The embedded Store
+// provides the rest of core.CampaignStore.
+type ackStore struct {
+	*dbase.Store
+	mu sync.Mutex
+	w  *os.File
+}
+
+func (a *ackStore) PutExperiment(row dbase.ExperimentRow) error {
+	if err := a.Store.PutExperiment(row); err != nil {
+		return err
+	}
+	a.ack(row.ExperimentName)
+	return nil
+}
+
+func (a *ackStore) PutExperiments(rows []dbase.ExperimentRow) error {
+	if err := a.Store.PutExperiments(rows); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		a.ack(r.ExperimentName)
+	}
+	return nil
+}
+
+func (a *ackStore) ack(name string) {
+	a.mu.Lock()
+	fmt.Fprintf(a.w, "ACK %s\n", name)
+	a.mu.Unlock()
+}

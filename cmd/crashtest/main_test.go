@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as the crashtest child: when the
+// harness re-execs os.Executable() with the child env set, maybeRunChild
+// runs the campaign and exits before any test executes.
+func TestMain(m *testing.M) {
+	if maybeRunChild() {
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrashRecoverySmoke runs a handful of full SIGKILL-recover-resume-verify
+// cycles in-process. The dedicated `make crashsmoke` / a manual
+// `go run ./cmd/crashtest` run many more iterations; this keeps the core
+// guarantee — acknowledged experiments survive SIGKILL and resume matches a
+// no-crash run — inside the default test suite.
+func TestCrashRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness forks processes; skipped in -short")
+	}
+	opt := options{
+		Iterations:      3,
+		Seed:            41,
+		Experiments:     60,
+		Chaos:           "err=0.03,panic=0.01,seed=7",
+		CheckpointBytes: 16 << 10,
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < opt.Iterations; i++ {
+		res, err := runIteration(exe, opt, i)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		t.Logf("iter %d: kill=%v acked=%d recovered=%d %s", i, res.killDelay, res.acked, res.recovered, res.outcome)
+	}
+}

@@ -24,6 +24,37 @@ func openDB(path string) (*goofi.Database, error) {
 	return goofi.OpenDatabase(path)
 }
 
+// parseWALSync parses the -wal-sync spec: comma-separated "every=N" (fsync
+// after every Nth group-commit batch; 1 = strict, fsync before every ack)
+// and "interval=D" (upper bound on how long a deferred fsync may lag).
+func parseWALSync(spec string) (goofi.WALOptions, error) {
+	opts := goofi.WALOptions{SyncEvery: 1}
+	if spec == "" {
+		return opts, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return opts, fmt.Errorf("wal-sync: %q is not key=value", part)
+		}
+		switch key {
+		case "every":
+			if _, err := fmt.Sscanf(val, "%d", &opts.SyncEvery); err != nil || opts.SyncEvery < 1 {
+				return opts, fmt.Errorf("wal-sync: every=%q is not a positive integer", val)
+			}
+		case "interval":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("wal-sync: interval=%q: %w", val, err)
+			}
+			opts.SyncInterval = d
+		default:
+			return opts, fmt.Errorf("wal-sync: unknown key %q (want every, interval)", key)
+		}
+	}
+	return opts, nil
+}
+
 // cmdConfigure implements the configuration phase (§3.1): it registers the
 // simulated Thor-RD target and stores its fault-location inventory.
 func cmdConfigure(args []string) error {
@@ -148,15 +179,41 @@ func cmdRun(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
 	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof + /metrics + /campaign/events on this address during the run, e.g. ":6060"`)
 	monitorEvery := fs.Duration("monitor-interval", time.Second, "period of live event frames and persisted interval metrics")
+	wal := fs.Bool("wal", false, "write-ahead-logged store: O(batch) flushes, group commit, crash recovery")
+	walSync := fs.String("wal-sync", "", `group-commit sync policy for -wal, "every=N,interval=D" (default every=1: fsync before every ack)`)
+	walCkpt := fs.Int64("wal-checkpoint", 0, "auto-checkpoint threshold for -wal, in MiB (0 = 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("run: -workers must be at least 1, got %d", *workers)
 	}
-	db, err := openDB(*dbPath)
-	if err != nil {
-		return err
+	// Validate the sync spec even without -wal: a typo'd durability flag
+	// should fail loudly, not be silently ignored.
+	opts, perr := parseWALSync(*walSync)
+	if perr != nil {
+		return perr
+	}
+	var db *goofi.Database
+	var err error
+	if *wal {
+		if *dbPath == "" {
+			return fmt.Errorf("-db is required")
+		}
+		opts.CheckpointBytes = *walCkpt << 20
+		db, err = goofi.OpenDatabaseWAL(*dbPath, opts)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if st := db.DB().WALStats(); st.Replayed > 0 {
+			logger.Info("wal recovery", "replayed", st.Replayed, "generation", st.Generation)
+		}
+	} else {
+		db, err = openDB(*dbPath)
+		if err != nil {
+			return err
+		}
 	}
 	row, err := db.GetCampaign(*name)
 	if err != nil {
@@ -268,7 +325,16 @@ func cmdRun(args []string) error {
 	if err := writeObsv(rec, *metricsOut, *traceOut); err != nil {
 		return err
 	}
-	return db.Save()
+	if err := db.Save(); err != nil {
+		return err
+	}
+	if st := db.DB().WALStats(); db.DB().WALEnabled() {
+		logger.Info("wal",
+			"records", st.Records, "bytes", st.Bytes,
+			"commit-batches", st.CommitBatches, "fsyncs", st.Fsyncs,
+			"checkpoints", st.Checkpoints, "generation", st.Generation)
+	}
+	return nil
 }
 
 func bar(done, total, width int) string {

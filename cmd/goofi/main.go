@@ -83,6 +83,7 @@ Usage:
   goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
   goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
                   [-retries N] [-retry-backoff D] [-timeout D] [-chaos SPEC]
+                  [-wal] [-wal-sync SPEC] [-wal-checkpoint MB]
                   [-metrics-out FILE] [-trace-out FILE] [-debug-addr ADDR]
   goofi stats     -metrics FILE | -diff OLD.json NEW.json
   goofi watch     HOST:PORT
@@ -104,6 +105,12 @@ Models:      transient | transient-multiple,m=K |
 Locations:   chain:<name>[/<field>] and mem:<lo>-<hi>, comma separated
 Chaos spec:  err=P,panic=P,hang=P[,seed=S][,hangdur=D] — wraps the target in a
              seeded transient-fault injector to exercise retry/quarantine/watchdog
+Durability:  -wal appends every store mutation to FILE.wal via group commit
+             instead of rewriting the dump per save, replays the log on open
+             after a crash, and folds it into FILE at checkpoints.
+             -wal-sync "every=N,interval=D" relaxes the fsync policy (default
+             every=1: acknowledged rows are fsynced, SIGKILL-safe);
+             -wal-checkpoint MB sets the auto-checkpoint threshold (default 8)
 Observability: -metrics-out dumps per-phase timings and store latency
              histograms as JSON (render with goofi stats -metrics FILE,
              compare runs with goofi stats -diff OLD NEW);

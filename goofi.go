@@ -48,6 +48,7 @@ import (
 	"goofi/internal/faultmodel"
 	"goofi/internal/obsv"
 	"goofi/internal/preinject"
+	"goofi/internal/sqldb"
 	"goofi/internal/target"
 	"goofi/internal/thor"
 	"goofi/internal/workload"
@@ -185,6 +186,19 @@ func SimpleTargetFactory() TargetFactory { return target.SimpleFactory() }
 
 // OpenDatabase opens (or creates) a file-backed campaign database.
 func OpenDatabase(path string) (*Database, error) { return dbase.OpenStore(path) }
+
+// WALOptions tunes a write-ahead-logged campaign database: the group-commit
+// sync policy (SyncEvery/SyncInterval) and the automatic checkpoint
+// threshold (CheckpointBytes).
+type WALOptions = sqldb.WALOptions
+
+// OpenDatabaseWAL opens (or creates) a file-backed campaign database in
+// write-ahead-logging mode: mutations are group-committed to <path>.wal
+// before store calls return, crash recovery replays the log on open, and
+// Save checkpoints the log into the database image. Call Close when done.
+func OpenDatabaseWAL(path string, opts WALOptions) (*Database, error) {
+	return dbase.OpenStoreWAL(path, opts)
+}
 
 // NewMemoryDatabase creates an in-memory campaign database.
 func NewMemoryDatabase() (*Database, error) { return dbase.NewMemoryStore() }

@@ -197,7 +197,7 @@ func TestCrossReportCSV(t *testing.T) {
 	if header[0] != "campaign" || header[1] != "mechanism" || header[9] != "run" {
 		t.Fatalf("header = %v", header)
 	}
-	if header[len(header)-1] != "phase_store_flush_ns" {
+	if header[len(header)-1] != "phase_wal_append_ns" {
 		t.Fatalf("last phase column = %q", header[len(header)-1])
 	}
 	var allRows, mechRows int

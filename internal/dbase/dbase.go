@@ -32,9 +32,13 @@ type Store struct {
 
 // SetRecorder attaches an observability recorder: every campaign-path store
 // call is then timed into a "store.<Op>" latency histogram, with call and
-// row counters alongside. A nil recorder (the default) disables it at zero
-// cost.
-func (s *Store) SetRecorder(rec *obsv.Recorder) { s.rec = rec }
+// row counters alongside, and a WAL-backed store's group-commit loop reports
+// its wal-append phase and wal.* counters. A nil recorder (the default)
+// disables it at zero cost.
+func (s *Store) SetRecorder(rec *obsv.Recorder) {
+	s.rec = rec
+	s.db.SetObserver(rec)
+}
 
 // noopRows is the shared disabled-path closure of timeOp, so an
 // uninstrumented store call allocates nothing.
@@ -141,6 +145,7 @@ CREATE TABLE IF NOT EXISTS CampaignRunMetrics (
 	phaseCheckpointRestoreNs INTEGER NOT NULL,
 	phaseRetryNs      INTEGER NOT NULL,
 	phaseFlushNs      INTEGER NOT NULL,
+	phaseWalAppendNs  INTEGER NOT NULL,
 	PRIMARY KEY (campaignName, runId, seq),
 	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
 );
@@ -168,7 +173,26 @@ func OpenStore(path string) (*Store, error) {
 	return s, nil
 }
 
-// Save persists a file-backed store; it is an error on in-memory stores.
+// OpenStoreWAL loads (or creates) a file-backed store in write-ahead-logging
+// mode: every mutation is appended to <path>.wal by a group-commit loop
+// before the store call returns, so flush cost is O(batch) instead of
+// O(database) and acknowledged rows survive a crash. Save becomes a
+// checkpoint (fold the log into the image); call Close when done.
+func OpenStoreWAL(path string, opts sqldb.WALOptions) (*Store, error) {
+	db, err := sqldb.OpenWithWAL(path, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dbase: %w", err)
+	}
+	s := &Store{db: db, path: path}
+	if err := s.db.ExecScript(schema); err != nil {
+		db.Close()
+		return nil, fmt.Errorf("dbase: install schema: %w", err)
+	}
+	return s, nil
+}
+
+// Save persists a file-backed store; it is an error on in-memory stores. On
+// a WAL-backed store this is a checkpoint.
 func (s *Store) Save() error {
 	defer s.timeOp("Save")(0)
 	if s.path == "" {
@@ -176,6 +200,10 @@ func (s *Store) Save() error {
 	}
 	return s.db.Save(s.path)
 }
+
+// Close flushes and detaches a WAL-backed store's log; it is a no-op on
+// in-memory and plain file-backed stores.
+func (s *Store) Close() error { return s.db.Close() }
 
 // DB exposes the underlying SQL engine — the analysis phase queries it
 // directly, exactly as the paper's users write SQL against the tables.
@@ -468,35 +496,49 @@ func (s *Store) PutExperiment(e ExperimentRow) error {
 	return nil
 }
 
-// PutExperiments logs a batch of experiments through one multi-row INSERT,
-// amortising statement parsing and per-row constraint checks — the logging
-// stage of parallel campaign execution funnels worker results through this.
+// maxInsertRows caps how many rows one multi-row INSERT carries. Beyond
+// this the parse-amortisation win has flattened out, and an uncapped
+// statement grows an unbounded SQL string (and WAL record) for giant
+// flushes.
+const maxInsertRows = 256
+
+// PutExperiments logs a batch of experiments through multi-row INSERTs of at
+// most maxInsertRows rows each, amortising statement parsing and per-row
+// constraint checks — the logging stage of parallel campaign execution
+// funnels worker results through this.
 func (s *Store) PutExperiments(rows []ExperimentRow) error {
 	if len(rows) == 0 {
 		return nil
 	}
 	defer s.timeOp("PutExperiments")(len(rows))
-	var sb strings.Builder
-	sb.WriteString("INSERT INTO LoggedSystemState VALUES ")
-	args := make([]sqldb.Value, 0, 9*len(rows))
-	for i, e := range rows {
-		if i > 0 {
-			sb.WriteString(", ")
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > maxInsertRows {
+			chunk = chunk[:maxInsertRows]
 		}
-		sb.WriteString("(?, ?, ?, ?, ?, ?, ?, ?, ?)")
-		parent := sqldb.Null()
-		if e.ParentExperiment != "" {
-			parent = sqldb.Text(e.ParentExperiment)
+		rows = rows[len(chunk):]
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO LoggedSystemState VALUES ")
+		args := make([]sqldb.Value, 0, 9*len(chunk))
+		for i, e := range chunk {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(?, ?, ?, ?, ?, ?, ?, ?, ?)")
+			parent := sqldb.Null()
+			if e.ParentExperiment != "" {
+				parent = sqldb.Text(e.ParentExperiment)
+			}
+			args = append(args,
+				sqldb.Text(e.ExperimentName), parent, sqldb.Text(e.CampaignName),
+				sqldb.Text(e.ExperimentData), sqldb.Text(e.TerminationReason),
+				sqldb.Text(e.Mechanism), sqldb.Int64(int64(e.Cycles)),
+				sqldb.Int64(int64(e.Iterations)), sqldb.Blob(e.StateVector))
 		}
-		args = append(args,
-			sqldb.Text(e.ExperimentName), parent, sqldb.Text(e.CampaignName),
-			sqldb.Text(e.ExperimentData), sqldb.Text(e.TerminationReason),
-			sqldb.Text(e.Mechanism), sqldb.Int64(int64(e.Cycles)),
-			sqldb.Int64(int64(e.Iterations)), sqldb.Blob(e.StateVector))
-	}
-	if _, err := s.db.Exec(sb.String(), args...); err != nil {
-		return fmt.Errorf("dbase: put %d experiments (first %s): %w",
-			len(rows), rows[0].ExperimentName, err)
+		if _, err := s.db.Exec(sb.String(), args...); err != nil {
+			return fmt.Errorf("dbase: put %d experiments (first %s): %w",
+				len(chunk), chunk[0].ExperimentName, err)
+		}
 	}
 	return nil
 }

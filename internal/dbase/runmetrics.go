@@ -91,28 +91,35 @@ func runMetricsFromRow(v []sqldb.Value) RunMetricsRow {
 	return r
 }
 
-// PutRunMetrics stores a batch of run-metrics rows in one multi-row INSERT.
-// The campaign runner flushes its buffered interval snapshots plus the final
-// row through this at the end of a run.
+// PutRunMetrics stores a batch of run-metrics rows in multi-row INSERTs of
+// at most maxInsertRows rows each. The campaign runner flushes its buffered
+// interval snapshots plus the final row through this at the end of a run.
 func (s *Store) PutRunMetrics(rows []RunMetricsRow) error {
 	if len(rows) == 0 {
 		return nil
 	}
 	defer s.timeOp("PutRunMetrics")(len(rows))
-	var sb strings.Builder
-	sb.WriteString("INSERT INTO CampaignRunMetrics VALUES ")
 	placeholder := "(" + strings.Repeat("?, ", runMetricsCols-1) + "?)"
-	args := make([]sqldb.Value, 0, runMetricsCols*len(rows))
-	for i, r := range rows {
-		if i > 0 {
-			sb.WriteString(", ")
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > maxInsertRows {
+			chunk = chunk[:maxInsertRows]
 		}
-		sb.WriteString(placeholder)
-		args = appendRunMetricsArgs(args, r)
-	}
-	if _, err := s.db.Exec(sb.String(), args...); err != nil {
-		return fmt.Errorf("dbase: put %d run metrics rows (campaign %s run %d): %w",
-			len(rows), rows[0].CampaignName, rows[0].RunID, err)
+		rows = rows[len(chunk):]
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO CampaignRunMetrics VALUES ")
+		args := make([]sqldb.Value, 0, runMetricsCols*len(chunk))
+		for i, r := range chunk {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(placeholder)
+			args = appendRunMetricsArgs(args, r)
+		}
+		if _, err := s.db.Exec(sb.String(), args...); err != nil {
+			return fmt.Errorf("dbase: put %d run metrics rows (campaign %s run %d): %w",
+				len(chunk), chunk[0].CampaignName, chunk[0].RunID, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,132 @@
+package dbase
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"goofi/internal/obsv"
+	"goofi/internal/sqldb"
+)
+
+// makeExperiments mints n experiment rows for one campaign.
+func makeExperiments(campaign string, n int) []ExperimentRow {
+	rows := make([]ExperimentRow, n)
+	for i := range rows {
+		rows[i] = ExperimentRow{
+			ExperimentName:    fmt.Sprintf("%s/e%05d", campaign, i),
+			CampaignName:      campaign,
+			ExperimentData:    "plan=[] injected=1/1",
+			TerminationReason: "workload-end",
+			Cycles:            uint64(1000 + i),
+			Iterations:        uint64(i % 7),
+			StateVector:       []byte{byte(i), byte(i >> 8)},
+		}
+	}
+	return rows
+}
+
+func TestOpenStoreWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "camp.db")
+	s, err := OpenStoreWAL(path, sqldb.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(sampleCampaign("walcamp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutExperiments(makeExperiments("walcamp", 30)); err != nil {
+		t.Fatal(err)
+	}
+	// No Save: everything above lives only in the write-ahead log.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain OpenStore (the analyze/report path) recovers it all.
+	plain, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := plain.Experiments("walcamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 30 {
+		t.Fatalf("plain reopen recovered %d experiments, want 30", len(exps))
+	}
+
+	// A WAL reopen recovers and keeps appending; Save checkpoints.
+	s2, err := OpenStoreWAL(path, sqldb.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names, err := s2.ExperimentNames("walcamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 30 {
+		t.Fatalf("WAL reopen recovered %d experiments, want 30", len(names))
+	}
+	if err := s2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.DB().WALStats()
+	if st.Checkpoints == 0 || st.Generation == 0 {
+		t.Fatalf("Save on a WAL store did not checkpoint: %+v", st)
+	}
+}
+
+func TestPutExperimentsChunksLargeBatches(t *testing.T) {
+	s := newStore(t)
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(sampleCampaign("big")); err != nil {
+		t.Fatal(err)
+	}
+	// Well past maxInsertRows, with a remainder chunk.
+	n := maxInsertRows*2 + 37
+	if err := s.PutExperiments(makeExperiments("big", n)); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.ExperimentNames("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != n {
+		t.Fatalf("stored %d experiments, want %d", len(names), n)
+	}
+	// The instrumentation still reports one logical call for all chunks.
+	rec := obsv.New(obsv.Options{})
+	s.SetRecorder(rec)
+	if err := s.PutExperiments(makeExperiments("big2", 1)); err == nil {
+		t.Fatal("dangling campaign FK should fail")
+	}
+}
+
+func TestSetRecorderReachesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStoreWAL(filepath.Join(dir, "camp.db"), sqldb.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := obsv.New(obsv.Options{})
+	s.SetRecorder(rec)
+	if err := s.PutTargetSystem(sampleTarget()); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["wal.records"] == 0 {
+		t.Fatalf("wal.records counter not incremented: %+v", snap.Counters)
+	}
+	if rec.PhaseTotal(obsv.PhaseWALAppend) == 0 {
+		t.Fatal("wal-append phase recorded no time")
+	}
+}

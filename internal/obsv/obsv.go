@@ -56,6 +56,12 @@ const (
 	PhaseRetry
 	// PhaseFlush is persisting experiment rows to the campaign store.
 	PhaseFlush
+	// PhaseWALAppend is the write-ahead log's group-commit work: writing
+	// coalesced record batches and fsyncing them. It runs on the WAL's own
+	// committer goroutine (a dedicated virtual thread), so it remains a leaf
+	// phase — it never overlaps another phase on the same thread, it overlaps
+	// the campaign threads it makes durable.
+	PhaseWALAppend
 	// NumPhases bounds the Phase enum.
 	NumPhases
 )
@@ -71,6 +77,7 @@ var phaseNames = [NumPhases]string{
 	PhaseCheckpointRestore: "checkpoint-restore",
 	PhaseRetry:             "retry-backoff",
 	PhaseFlush:             "store-flush",
+	PhaseWALAppend:         "wal-append",
 }
 
 // String names the phase as it appears in metrics dumps and traces.

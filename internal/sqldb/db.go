@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"goofi/internal/obsv"
 )
 
 // Exported error values callers can match with errors.Is.
@@ -23,10 +25,26 @@ var (
 
 // DB is an in-memory relational database with optional file persistence.
 // All methods are safe for concurrent use.
+//
+// A DB opened with OpenWithWAL additionally appends every mutating statement
+// to a write-ahead log before Exec returns, replays that log on open, and
+// folds it into the dump image on Checkpoint — see wal.go.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table // keyed by lower-cased name
 	order  []string          // creation order of lower-cased names
+
+	// generation numbers the dump image this in-memory state extends; it is
+	// guarded by mu and advanced by every Save/Checkpoint.
+	generation uint64
+	// path is the image file this DB was opened from ("" for New()).
+	path string
+
+	// WAL state; wal is nil outside WAL mode and immutable once set.
+	wal     *wal
+	walOpts WALOptions
+	// ckptMu serialises checkpoints (explicit and size-triggered).
+	ckptMu sync.Mutex
 }
 
 // table holds the definition and rows of one table.
@@ -60,30 +78,154 @@ func New() *DB {
 }
 
 // Exec parses and executes a statement that does not return rows.
-// Parameters referenced with ? bind to args in order.
+// Parameters referenced with ? bind to args in order. On a WAL-backed
+// database a state-changing statement is also appended to the log, and Exec
+// returns only once the record is acknowledged per the sync policy — under
+// the default strict policy, once it is fsynced.
 func (db *DB) Exec(query string, args ...Value) (Result, error) {
+	return db.exec(query, args, true)
+}
+
+func (db *DB) exec(query string, args []Value, logWAL bool) (Result, error) {
 	st, err := parse(query)
 	if err != nil {
 		return Result{}, fmt.Errorf("exec %q: %w", abbreviate(query), err)
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	res, mutated, err := db.execStmtLocked(st, args, query)
+	// Enqueue under mu so WAL order matches execution order; wait for the
+	// group commit after unlocking so concurrent committers coalesce.
+	var ack chan error
+	if err == nil && mutated && logWAL && db.wal != nil {
+		ack = db.wal.append(query, args)
+	}
+	db.mu.Unlock()
+	if ack != nil {
+		if werr := <-ack; werr != nil {
+			return res, werr
+		}
+		db.maybeAutoCheckpoint()
+	}
+	return res, err
+}
+
+// execStmtLocked dispatches a parsed statement under db.mu and reports
+// whether it changed state — only state changes are worth a WAL record, so
+// no-ops (CREATE IF NOT EXISTS of an existing table, a DELETE matching
+// nothing) don't grow the log on every open.
+func (db *DB) execStmtLocked(st statement, args []Value, query string) (Result, bool, error) {
 	switch s := st.(type) {
 	case *createTableStmt:
-		return Result{}, db.execCreate(s)
+		_, existed := db.tables[strings.ToLower(s.Name)]
+		err := db.execCreate(s)
+		return Result{}, err == nil && !existed, err
 	case *dropTableStmt:
-		return Result{}, db.execDrop(s)
+		_, existed := db.tables[strings.ToLower(s.Name)]
+		err := db.execDrop(s)
+		return Result{}, err == nil && existed, err
 	case *insertStmt:
-		return db.execInsert(s, args)
+		res, err := db.execInsert(s, args)
+		return res, err == nil && res.RowsAffected > 0, err
 	case *updateStmt:
-		return db.execUpdate(s, args)
+		res, err := db.execUpdate(s, args)
+		return res, err == nil && res.RowsAffected > 0, err
 	case *deleteStmt:
-		return db.execDelete(s, args)
+		res, err := db.execDelete(s, args)
+		return res, err == nil && res.RowsAffected > 0, err
 	case *selectStmt:
-		return Result{}, fmt.Errorf("exec %q: use Query for SELECT", abbreviate(query))
+		return Result{}, false, fmt.Errorf("exec %q: use Query for SELECT", abbreviate(query))
 	default:
-		return Result{}, fmt.Errorf("exec %q: unsupported statement", abbreviate(query))
+		return Result{}, false, fmt.Errorf("exec %q: unsupported statement", abbreviate(query))
 	}
+}
+
+// Checkpoint folds the write-ahead log into the dump image: the current state
+// is durably written to the database path at the next generation and the log
+// is truncated to a fresh header carrying that generation. A crash anywhere
+// in between is safe — until the image rename lands the old image + old WAL
+// is the recovery state, and after it the leftover old-generation WAL is
+// recognised as stale and discarded.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return fmt.Errorf("sqldb: checkpoint: database has no write-ahead log")
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.checkpointNow()
+}
+
+// checkpointNow is Checkpoint's body; callers hold ckptMu.
+func (db *DB) checkpointNow() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	gen := db.generation + 1
+	data := generationHeader(gen) + db.dumpLocked()
+	if err := writeFileDurable(db.path, []byte(data)); err != nil {
+		return fmt.Errorf("checkpoint database: %w", err)
+	}
+	// Holding mu means nothing can be enqueued between the image write and
+	// the log reset, so every record the reset discards is in the image.
+	if err := db.wal.reset(gen); err != nil {
+		return fmt.Errorf("checkpoint database: %w", err)
+	}
+	db.generation = gen
+	return nil
+}
+
+// maybeAutoCheckpoint runs a checkpoint when the log has outgrown the
+// configured threshold. Best-effort: if another checkpoint is already
+// running it backs off, and a failure is recorded as a counter rather than
+// surfaced — the log keeps the data safe either way, just un-compacted.
+func (db *DB) maybeAutoCheckpoint() {
+	limit := db.walOpts.CheckpointBytes
+	if db.wal == nil || limit <= 0 || db.wal.size.Load() < limit {
+		return
+	}
+	if !db.ckptMu.TryLock() {
+		return
+	}
+	defer db.ckptMu.Unlock()
+	if db.wal.size.Load() < limit {
+		return // a racing checkpoint already folded it
+	}
+	if err := db.checkpointNow(); err != nil {
+		db.wal.rec.Load().Count("wal.checkpoint-errors", 1)
+	}
+}
+
+// Close flushes and detaches the write-ahead log, fsyncing anything still
+// pending. On a non-WAL database it is a no-op. The DB remains readable;
+// further mutations fail.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.close()
+}
+
+// SetObserver attaches a recorder to the WAL's group-commit loop (wal-append
+// phase spans and wal.* counters). No-op outside WAL mode; safe to call at
+// any time, including with nil to detach.
+func (db *DB) SetObserver(rec *obsv.Recorder) {
+	if db.wal != nil {
+		db.wal.rec.Store(rec)
+	}
+}
+
+// WALEnabled reports whether this database was opened with OpenWithWAL.
+func (db *DB) WALEnabled() bool { return db.wal != nil }
+
+// WALStats returns a snapshot of write-ahead log activity (zero outside WAL
+// mode, except Generation which is always current).
+func (db *DB) WALStats() WALStats {
+	var s WALStats
+	if db.wal != nil {
+		s = db.wal.stats()
+	}
+	db.mu.RLock()
+	s.Generation = db.generation
+	db.mu.RUnlock()
+	return s
 }
 
 // Query parses and executes a SELECT, returning the materialised rows.

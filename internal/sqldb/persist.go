@@ -14,6 +14,10 @@ import (
 func (db *DB) Dump() string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.dumpLocked()
+}
+
+func (db *DB) dumpLocked() string {
 	var sb strings.Builder
 	for _, key := range db.order {
 		t := db.tables[key]
@@ -168,44 +172,154 @@ func SplitStatements(script string) ([]string, error) {
 	return stmts, nil
 }
 
-// Save writes the database dump atomically to path.
-func (db *DB) Save(path string) error {
-	dump := db.Dump()
+// generationHeader is the comment line leading every saved image that names
+// the image's generation. The SQL lexer skips line comments, so the header is
+// invisible to replay; Open parses it to decide whether a sidecar WAL extends
+// this image or predates it.
+func generationHeader(gen uint64) string {
+	return fmt.Sprintf("-- goofi generation %d\n", gen)
+}
+
+// parseGeneration extracts the generation from an image's header line.
+// Headerless images (written before WAL support) are generation 0.
+func parseGeneration(data string) uint64 {
+	const prefix = "-- goofi generation "
+	if !strings.HasPrefix(data, prefix) {
+		return 0
+	}
+	rest := data[len(prefix):]
+	var gen uint64
+	for i := 0; i < len(rest) && rest[i] >= '0' && rest[i] <= '9'; i++ {
+		gen = gen*10 + uint64(rest[i]-'0')
+	}
+	return gen
+}
+
+// writeFileDurable atomically replaces path with data and makes the
+// replacement survive power loss: the temp file is fsynced before the rename
+// and the parent directory after it (the rename itself lives in directory
+// metadata).
+func writeFileDurable(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".goofidb-*")
 	if err != nil {
-		return fmt.Errorf("save database: %w", err)
+		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.WriteString(dump); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("save database: %w", err)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("save database: %w", err)
+		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Save writes the database dump durably and atomically to path. On a
+// WAL-backed database saving to its own path this is a checkpoint: the WAL is
+// folded into the image and truncated. Every save advances the image
+// generation, so a sidecar WAL left beside path by an earlier incarnation is
+// recognised as stale and never replayed over data it is already part of.
+func (db *DB) Save(path string) error {
+	if db.wal != nil && path == db.path {
+		return db.Checkpoint()
+	}
+	db.mu.Lock()
+	db.generation++
+	data := generationHeader(db.generation) + db.dumpLocked()
+	db.mu.Unlock()
+	if err := writeFileDurable(path, []byte(data)); err != nil {
 		return fmt.Errorf("save database: %w", err)
 	}
 	return nil
 }
 
-// Open loads a database previously written with Save. A missing file yields
-// an empty database, so first runs need no special casing.
-func Open(path string) (*DB, error) {
-	db := New()
+// loadImage reads the dump image at path into db and returns its generation.
+// A missing file is an empty generation-0 database.
+func (db *DB) loadImage(path string) (uint64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return db, nil
+			return 0, nil
 		}
-		return nil, fmt.Errorf("open database: %w", err)
+		return 0, fmt.Errorf("open database: %w", err)
 	}
 	if err := db.ExecScript(string(data)); err != nil {
+		return 0, fmt.Errorf("open database %s: %w", path, err)
+	}
+	return parseGeneration(string(data)), nil
+}
+
+// applyWALRecord executes one recovered statement without re-logging it.
+func (db *DB) applyWALRecord(sql string, args []Value) error {
+	_, err := db.exec(sql, args, false)
+	return err
+}
+
+// Open loads a database previously written with Save. A missing file yields
+// an empty database, so first runs need no special casing. If a sidecar
+// write-ahead log (<path>.wal) from the image's generation exists — a WAL
+// session that crashed before its final checkpoint — its records are replayed
+// so every reader sees the crash-consistent state; the log itself is left for
+// the next WAL open to truncate.
+func Open(path string) (*DB, error) {
+	db := New()
+	db.path = path
+	gen, err := db.loadImage(path)
+	if err != nil {
+		return nil, err
+	}
+	db.generation = gen
+	if _, err := replaySidecarWAL(path, gen, db.applyWALRecord); err != nil {
 		return nil, fmt.Errorf("open database %s: %w", path, err)
 	}
+	return db, nil
+}
+
+// OpenWithWAL opens the database at path in write-ahead-logging mode: the
+// image is loaded, a matching-generation <path>.wal is replayed (recovering
+// anything a crash left unfolded) with any torn tail truncated, and every
+// subsequent mutation is appended to the log by a group-commit goroutine
+// before Exec returns. Close flushes and detaches the log; Save (to path) and
+// Checkpoint fold it into the image.
+func OpenWithWAL(path string, opts WALOptions) (*DB, error) {
+	db := New()
+	db.path = path
+	gen, err := db.loadImage(path)
+	if err != nil {
+		return nil, err
+	}
+	db.generation = gen
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 1
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	w, err := openWAL(path+".wal", gen, opts, db.applyWALRecord)
+	if err != nil {
+		return nil, fmt.Errorf("open database %s: %w", path, err)
+	}
+	db.wal = w
+	db.walOpts = w.opts
+	go w.run()
 	return db, nil
 }
