@@ -14,7 +14,7 @@ BENCHCOUNT ?= 6
 OLD ?= BENCH_old.json
 NEW ?= BENCH_campaign.json
 
-.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke ci
+.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke storagesmoke ci
 
 all: ci
 
@@ -32,10 +32,11 @@ test:
 # the chaos/retry taxonomy and the checkpoint stores in internal/target,
 # the delta snapshot scheme in internal/thor, the restorable plant models
 # in internal/envsim, the concurrent recorder/broadcaster in
-# internal/obsv, and the WAL group-commit machinery in internal/sqldb;
-# run all seven under the race detector on every change.
+# internal/obsv, the WAL group-commit machinery in internal/sqldb, and the
+# fault-injecting filesystem (shared op counter + durability maps) in
+# internal/vfs; run all eight under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/... ./internal/vfs/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. The raw text lands in
@@ -72,15 +73,16 @@ cover:
 FUZZTIME ?= 5s
 
 # Short coverage-guided fuzz of the hostile-input surfaces: the SQL
-# lexer/parser, the WAL record codec/replay, the packed scan-chain codec
-# and the page-delta checkpoint round-trip. `go test -fuzz` takes one
-# target per invocation, hence five runs.
+# lexer/parser, the WAL record codec/replay, the packed scan-chain codec,
+# the page-delta checkpoint round-trip and the storage-chaos fault-schedule
+# codec. `go test -fuzz` takes one target per invocation, hence six runs.
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSelect$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzLexer$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz '^FuzzBitsPackUnpack$$' -fuzztime $(FUZZTIME) ./internal/scan
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointDelta$$' -fuzztime $(FUZZTIME) ./internal/thor
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultyVFS$$' -fuzztime $(FUZZTIME) ./internal/vfs
 
 # SIGKILL crash-recovery smoke: a handful of live campaigns killed at
 # seeded random points, recovered from the WAL, resumed to completion and
@@ -89,6 +91,15 @@ fuzzsmoke:
 crashsmoke:
 	$(GO) run ./cmd/crashtest -n 5 -experiments 80 -seed 7
 
+# Simulated-crash storage sweep: 200 campaigns over the deterministic
+# fault-injecting filesystem (vfs.Faulty), each power-cut at a seeded op
+# with transient, torn and lying-fsync faults along the way, then
+# recovered, resumed and verified row-for-row against a fault-free
+# reference. No fork per iteration, so 200 seeds cost seconds where the
+# SIGKILL harness above costs minutes.
+storagesmoke:
+	$(GO) run ./cmd/crashtest -sim -n 200 -experiments 16 -seed 1
+
 # After benchsmoke, gate the smoke numbers against the committed full-run
 # baseline BENCH_campaign.json. Time only (-metrics ns): allocation
 # metrics fold one-off setup into per-op numbers and so only compare
@@ -96,5 +107,5 @@ crashsmoke:
 # (75%): the smoke run is short and lands on whatever machine CI uses,
 # so only order-of-magnitude regressions — a forked campaign falling
 # back to the plain path, a capture turning quadratic — should trip it.
-ci: vet build test race benchsmoke fuzzsmoke crashsmoke
+ci: vet build test race benchsmoke fuzzsmoke crashsmoke storagesmoke
 	$(GO) run ./cmd/goofi-bench -diff BENCH_campaign.json -tolerance 75 -metrics ns BENCH_smoke.json

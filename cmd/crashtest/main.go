@@ -21,12 +21,24 @@
 // written); it may never hold less, and resume may never double-apply — the
 // final store must hold exactly NExperiments + 1 rows (the reference run)
 // and match the no-crash reference byte for byte.
+//
+// With -sim the harness swaps the SIGKILL child for vfs.Faulty: the campaign
+// runs in-process over a fault-injecting filesystem armed with a seeded crash
+// point (every operation past it dies with ErrCrashed) plus transient write,
+// fsync, torn-write and sync-lie faults, then Crash() discards everything not
+// fsynced — the power-cut the SIGKILL mode can only approximate. The same
+// oracles apply (acked ⊆ recovered, bit-identical resume), except that
+// iterations where an fsync lied skip the ack-subset check: a lying disk
+// legitimately loses acknowledged records, and the test instead demands that
+// recovery still comes up clean and resumes to the exact reference state.
+// Because no process is forked, -sim covers hundreds of seeds per second.
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -43,6 +55,7 @@ import (
 	"goofi/internal/dbase"
 	"goofi/internal/faultmodel"
 	"goofi/internal/sqldb"
+	"goofi/internal/vfs"
 )
 
 // childEnv carries the child's JSON config; its presence switches the binary
@@ -59,9 +72,16 @@ func main() {
 	flag.IntVar(&opt.Experiments, "experiments", 200, "experiments per campaign")
 	flag.StringVar(&opt.Chaos, "chaos", "err=0.03,panic=0.01,seed=7", "chaos spec for the campaign target (empty = none)")
 	flag.Int64Var(&opt.CheckpointBytes, "checkpoint-bytes", 32<<10, "WAL auto-checkpoint threshold (small = frequent checkpoint crash windows)")
+	flag.BoolVar(&opt.Sim, "sim", false, "in-process simulated crashes via the vfs.Faulty filesystem instead of SIGKILL")
+	flag.StringVar(&opt.SimFaults, "sim-faults", "write=0.01,sync=0.01,torn=0.01,lie=0.005,dirsync=1",
+		"vfs.Faulty spec layered under the store in -sim mode (seed and crashat are set per iteration)")
 	flag.BoolVar(&opt.Verbose, "v", false, "per-iteration detail")
 	flag.Parse()
-	if err := runHarness(os.Stdout, opt); err != nil {
+	run := runHarness
+	if opt.Sim {
+		run = runSimHarness
+	}
+	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "crashtest:", err)
 		os.Exit(1)
 	}
@@ -74,6 +94,8 @@ type options struct {
 	Experiments     int
 	Chaos           string
 	CheckpointBytes int64
+	Sim             bool
+	SimFaults       string
 	Verbose         bool
 }
 
@@ -317,7 +339,11 @@ func runAndKill(exe, cfgJSON string, delay time.Duration) (acked []string, done 
 // recoveredNames opens the crashed store via the plain recovery path and
 // returns the experiment rows it holds.
 func recoveredNames(dbPath, campaign string) (map[string]bool, error) {
-	store, err := dbase.OpenStore(dbPath)
+	return recoveredNamesFS(vfs.OS{}, dbPath, campaign)
+}
+
+func recoveredNamesFS(fsys vfs.FS, dbPath, campaign string) (map[string]bool, error) {
+	store, err := dbase.OpenStoreFS(dbPath, fsys)
 	if err != nil {
 		return nil, fmt.Errorf("reopen crashed store: %w", err)
 	}
@@ -329,7 +355,11 @@ func recoveredNames(dbPath, campaign string) (map[string]bool, error) {
 // and how many experiments the resumed run executed (vs skipped as already
 // logged).
 func resumeCampaign(dbPath string, c goofi.Campaign, opt options) ([]dbase.ExperimentRow, goofi.Report, int, error) {
-	store, err := dbase.OpenStoreWAL(dbPath, sqldb.WALOptions{SyncEvery: 1, CheckpointBytes: opt.CheckpointBytes})
+	return resumeCampaignFS(vfs.OS{}, dbPath, c, opt)
+}
+
+func resumeCampaignFS(fsys vfs.FS, dbPath string, c goofi.Campaign, opt options) ([]dbase.ExperimentRow, goofi.Report, int, error) {
+	store, err := dbase.OpenStoreWALFS(dbPath, fsys, sqldb.WALOptions{SyncEvery: 1, CheckpointBytes: opt.CheckpointBytes})
 	if err != nil {
 		return nil, goofi.Report{}, 0, fmt.Errorf("reopen for resume: %w", err)
 	}
@@ -392,6 +422,258 @@ func referenceRun(c goofi.Campaign, opt options) ([]dbase.ExperimentRow, goofi.R
 		return nil, goofi.Report{}, err
 	}
 	return rows, report, nil
+}
+
+// --- simulated-crash mode ---
+
+// runSimHarness is runHarness with the SIGKILL child replaced by an
+// in-process vfs.Faulty crash: no fork, no wall-clock kill timing, hundreds
+// of seeds per second.
+func runSimHarness(out *os.File, opt options) error {
+	crashed, completed := 0, 0
+	for i := 0; i < opt.Iterations; i++ {
+		res, err := runSimIteration(opt, i)
+		if err != nil {
+			return fmt.Errorf("sim iteration %d (seed %d): %w", i, opt.Seed+int64(i), err)
+		}
+		if res.killedLive {
+			crashed++
+		} else {
+			completed++
+		}
+		if opt.Verbose {
+			fmt.Fprintf(out, "sim %3d: seed=%d acked=%d recovered=%d resumed=%d %s\n",
+				i, opt.Seed+int64(i), res.acked, res.recovered, res.resumed, res.outcome)
+		}
+	}
+	fmt.Fprintf(out, "crashtest -sim PASS: %d iterations (%d crashed live, %d completed before the crash point), %d experiments each\n",
+		opt.Iterations, crashed, completed, opt.Experiments)
+	return nil
+}
+
+// runSimIteration stages a campaign store, runs it over a Faulty filesystem
+// armed with a seeded crash point, simulates the power cut, and verifies the
+// same oracles as the SIGKILL path: acked ⊆ recovered (unless an fsync lied —
+// a lying disk legitimately loses acknowledged records) and a resume that is
+// bit-identical to the no-crash reference run.
+func runSimIteration(opt options, iter int) (iterResult, error) {
+	var res iterResult
+	seed := opt.Seed + int64(iter)
+	rng := rand.New(rand.NewSource(seed))
+	campaign := fmt.Sprintf("sim-%03d", iter)
+
+	dir, err := os.MkdirTemp("", "goofi-crashtest-sim-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "campaign.db")
+
+	// Stage through the plain OS: the staged image predates the power cut,
+	// so Faulty snapshots it as durable the first time it touches it.
+	c, err := campaignFor(campaign, seed, opt.Experiments)
+	if err != nil {
+		return res, err
+	}
+	if err := stageStore(dbPath, c); err != nil {
+		return res, err
+	}
+
+	fcfg, err := vfs.ParseFaultyConfig(opt.SimFaults)
+	if err != nil {
+		return res, fmt.Errorf("bad -sim-faults: %w", err)
+	}
+	fcfg.Seed = seed
+	// Size the crash horizon in filesystem operations the way the SIGKILL
+	// horizon is sized in wall-clock: wide enough that crashes land anywhere
+	// from the opening header write to after campaign completion.
+	fcfg.CrashAtOp = 1 + rng.Int63n(25+6*int64(opt.Experiments))
+	fsys, err := vfs.NewFaulty(vfs.OS{}, fcfg)
+	if err != nil {
+		return res, err
+	}
+
+	acked, runErr := simRun(fsys, dbPath, c, opt)
+	res.acked = len(acked)
+	res.killedLive = runErr != nil
+	if runErr != nil && !errors.Is(runErr, vfs.ErrCrashed) {
+		if vfs.IsInjected(runErr) {
+			return res, fmt.Errorf("campaign died of an injected storage fault (transient retries should have absorbed it): %w", runErr)
+		}
+		// The campaign died of its own target-level chaos, not storage. The
+		// target's fault plan is deterministic and independent of storage
+		// retries, so this is only acceptable when the fault-free in-memory
+		// reference dies the same death.
+		if _, _, refErr := referenceRun(c, opt); refErr == nil || !strings.HasSuffix(refErr.Error(), runErr.Error()) {
+			return res, fmt.Errorf("campaign died of a non-crash, non-storage fault the reference run does not reproduce (reference: %v): %w", refErr, runErr)
+		}
+		res.outcome = "campaign-failed (reference fails identically)"
+		return res, nil
+	}
+	lied := fsys.Stats().SyncLies > 0
+
+	// Power cut: every write and name not yet honestly fsynced is gone.
+	if err := fsys.Crash(); err != nil {
+		return res, fmt.Errorf("simulate crash: %w", err)
+	}
+	fsys.ClearCrashPoint()
+
+	if !lied {
+		recovered, err := recoveredNamesFS(fsys, dbPath, campaign)
+		if err != nil {
+			return res, err
+		}
+		res.recovered = len(recovered)
+		for _, name := range acked {
+			if !recovered[name] {
+				return res, fmt.Errorf("acknowledged experiment %s lost after simulated crash (acked %d, recovered %d, crashat %d)",
+					name, len(acked), len(recovered), fcfg.CrashAtOp)
+			}
+		}
+	}
+
+	// A lying fsync can destroy arbitrary durable state — up to and including
+	// the staged target registration and campaign definition the resume
+	// depends on (an image checkpoint whose temp-file sync lied but whose
+	// rename committed leaves a truncated image: real lying-disk semantics).
+	// Re-stage the definitions; the bit-identical final-state oracle below
+	// still applies in full.
+	if lied {
+		if err := restage(fsys, dbPath, c); err != nil {
+			return res, err
+		}
+	}
+
+	// Resume over the same filesystem: transient, torn and lying faults stay
+	// armed, so recovery itself must also ride out injected storage trouble.
+	got, gotReport, resumedCount, err := resumeCampaignFS(fsys, dbPath, c, opt)
+	if err != nil {
+		return res, err
+	}
+	res.resumed = resumedCount
+	if len(got) != opt.Experiments+1 { // + the golden reference run
+		return res, fmt.Errorf("after resume: %d rows, want %d (double-counted or lost)",
+			len(got), opt.Experiments+1)
+	}
+	want, wantReport, err := referenceRun(c, opt)
+	if err != nil {
+		return res, err
+	}
+	if len(got) != len(want) {
+		return res, fmt.Errorf("resumed rows %d != reference rows %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return res, fmt.Errorf("experiment %s differs between resumed and no-crash run:\n got %+v\nwant %+v",
+				want[i].ExperimentName, got[i], want[i])
+		}
+	}
+	if !reflect.DeepEqual(gotReport, wantReport) {
+		return res, fmt.Errorf("analysis diverged:\n resumed   %+v\n reference %+v", gotReport, wantReport)
+	}
+	switch {
+	case !res.killedLive:
+		res.outcome = "completed-before-crash"
+	case lied:
+		res.outcome = fmt.Sprintf("crashed live after a lied fsync, resumed to %d rows", len(got))
+	default:
+		res.outcome = fmt.Sprintf("crashed live, recovered+resumed to %d rows", len(got))
+	}
+	return res, nil
+}
+
+// restage re-registers the target inventory and campaign definition if a
+// lying fsync destroyed them, touching only what is actually missing (a
+// surviving target row cannot be replaced while campaign rows reference it).
+func restage(fsys vfs.FS, dbPath string, c goofi.Campaign) error {
+	store, err := dbase.OpenStoreFS(dbPath, fsys)
+	if err != nil {
+		return fmt.Errorf("restage after lied sync: %w", err)
+	}
+	ops := goofi.NewThorTarget()
+	changed := false
+	if _, err := store.GetTargetSystem(ops.Name()); err != nil {
+		if err := goofi.RegisterTarget(store, ops, "crashtest target"); err != nil {
+			return fmt.Errorf("restage after lied sync: %w", err)
+		}
+		changed = true
+	}
+	if _, err := store.GetCampaign(c.Name); err != nil {
+		if err := store.PutCampaign(c.Row(ops.Name())); err != nil {
+			return fmt.Errorf("restage after lied sync: %w", err)
+		}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	if err := store.Save(); err != nil {
+		return fmt.Errorf("restage after lied sync: %w", err)
+	}
+	return nil
+}
+
+// simRun runs the campaign over the faulty filesystem until it completes or
+// the armed crash point kills it, returning the experiment names the store
+// acknowledged before death.
+func simRun(fsys vfs.FS, dbPath string, c goofi.Campaign, opt options) (acked []string, runErr error) {
+	store, err := dbase.OpenStoreWALFS(dbPath, fsys, sqldb.WALOptions{SyncEvery: 1, CheckpointBytes: opt.CheckpointBytes})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close() // post-crash close is safe: the WAL swallows the dead handle
+	col := &collectStore{Store: store}
+	ops, err := chaosOps(opt.Chaos, &c)
+	if err != nil {
+		return nil, err
+	}
+	r := core.NewRunner(ops, col, c)
+	if _, err := r.Run(context.Background()); err != nil {
+		return col.acked(), err
+	}
+	if err := store.Save(); err != nil {
+		return col.acked(), err
+	}
+	return col.acked(), nil
+}
+
+// collectStore is the in-process analogue of ackStore: it records every
+// experiment name the store acknowledged. No pipe protocol is needed — the
+// "process" dies by ErrCrashed, not SIGKILL, so memory survives to testify.
+// Under SyncEvery=1 an acknowledgement means the record's WAL append was
+// fsynced (honestly, unless the fault plan lied).
+type collectStore struct {
+	*dbase.Store
+	mu    sync.Mutex
+	names []string
+}
+
+func (cs *collectStore) PutExperiment(row dbase.ExperimentRow) error {
+	if err := cs.Store.PutExperiment(row); err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	cs.names = append(cs.names, row.ExperimentName)
+	cs.mu.Unlock()
+	return nil
+}
+
+func (cs *collectStore) PutExperiments(rows []dbase.ExperimentRow) error {
+	if err := cs.Store.PutExperiments(rows); err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	for _, r := range rows {
+		cs.names = append(cs.names, r.ExperimentName)
+	}
+	cs.mu.Unlock()
+	return nil
+}
+
+func (cs *collectStore) acked() []string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return append([]string(nil), cs.names...)
 }
 
 // --- child mode ---

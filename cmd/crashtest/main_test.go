@@ -43,3 +43,27 @@ func TestCrashRecoverySmoke(t *testing.T) {
 		t.Logf("iter %d: kill=%v acked=%d recovered=%d %s", i, res.killDelay, res.acked, res.recovered, res.outcome)
 	}
 }
+
+// TestSimCrashRecoverySmoke runs the in-process vfs.Faulty variant of the
+// harness: a seeded crash point plus transient, torn and lying storage
+// faults, then power-cut, recover, resume, bit-identical verify. No fork per
+// iteration, so far more seeds fit in the suite; `make storagesmoke` runs the
+// full sweep.
+func TestSimCrashRecoverySmoke(t *testing.T) {
+	opt := options{
+		Iterations:      25,
+		Seed:            1,
+		Experiments:     16,
+		Chaos:           "err=0.03,panic=0.01,seed=7",
+		CheckpointBytes: 16 << 10,
+		Sim:             true,
+		SimFaults:       "write=0.01,sync=0.01,torn=0.01,lie=0.005,dirsync=1",
+	}
+	for i := 0; i < opt.Iterations; i++ {
+		res, err := runSimIteration(opt, i)
+		if err != nil {
+			t.Fatalf("sim iteration %d (seed %d): %v", i, opt.Seed+int64(i), err)
+		}
+		t.Logf("sim %d: acked=%d recovered=%d resumed=%d %s", i, res.acked, res.recovered, res.resumed, res.outcome)
+	}
+}

@@ -175,6 +175,7 @@ func cmdRun(args []string) error {
 	cpEvery := fs.Uint64("checkpoint-every", 0, "checkpoint grid spacing in cycles for -fork (0 = auto, ~tmax/16)")
 	cpMem := fs.Int64("checkpoint-mem", 0, "checkpoint memory budget for -fork, in MiB (0 = 64)")
 	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
+	storageChaos := fs.String("storage-chaos", "", `inject seeded storage faults under the campaign database, e.g. "write=0.01,sync=0.01,torn=0.005,seed=7"`)
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
 	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof + /metrics + /campaign/events on this address during the run, e.g. ":6060"`)
@@ -194,14 +195,30 @@ func cmdRun(args []string) error {
 	if perr != nil {
 		return perr
 	}
+	// -storage-chaos swaps the campaign database's filesystem for a seeded
+	// fault injector: goofi's own storage path becomes the target system.
+	fsys := goofi.OSFilesystem()
+	var storageFS *goofi.FaultyFS
+	if *storageChaos != "" {
+		cfg, err := goofi.ParseFaultyFSConfig(*storageChaos)
+		if err != nil {
+			return err
+		}
+		storageFS, err = goofi.NewFaultyFS(fsys, cfg)
+		if err != nil {
+			return err
+		}
+		fsys = storageFS
+	}
 	var db *goofi.Database
 	var err error
-	if *wal {
+	switch {
+	case *wal:
 		if *dbPath == "" {
 			return fmt.Errorf("-db is required")
 		}
 		opts.CheckpointBytes = *walCkpt << 20
-		db, err = goofi.OpenDatabaseWAL(*dbPath, opts)
+		db, err = goofi.OpenDatabaseWALFS(*dbPath, fsys, opts)
 		if err != nil {
 			return err
 		}
@@ -209,7 +226,15 @@ func cmdRun(args []string) error {
 		if st := db.DB().WALStats(); st.Replayed > 0 {
 			logger.Info("wal recovery", "replayed", st.Replayed, "generation", st.Generation)
 		}
-	} else {
+	case storageFS != nil:
+		if *dbPath == "" {
+			return fmt.Errorf("-db is required")
+		}
+		db, err = goofi.OpenDatabaseFS(*dbPath, fsys)
+		if err != nil {
+			return err
+		}
+	default:
 		db, err = openDB(*dbPath)
 		if err != nil {
 			return err
@@ -256,6 +281,9 @@ func cmdRun(args []string) error {
 	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
 		rec = goofi.NewRecorder(goofi.RecorderOptions{Trace: *traceOut != ""})
 		db.SetRecorder(rec)
+		if storageFS != nil {
+			storageFS.SetRecorder(rec)
+		}
 		ops = goofi.NewMeasuredTarget(ops, rec)
 		factory = goofi.MeasuredTargetFactory(factory, rec)
 		if *debugAddr != "" {
@@ -332,7 +360,14 @@ func cmdRun(args []string) error {
 		logger.Info("wal",
 			"records", st.Records, "bytes", st.Bytes,
 			"commit-batches", st.CommitBatches, "fsyncs", st.Fsyncs,
+			"io-retries", st.IORetries,
 			"checkpoints", st.Checkpoints, "generation", st.Generation)
+	}
+	if storageFS != nil {
+		st := storageFS.Stats()
+		logger.Info("storage chaos",
+			"ops", st.Ops, "injected", st.InjectedErrors, "sticky", st.StickyErrors,
+			"torn-writes", st.TornWrites, "sync-lies", st.SyncLies, "crashes", st.Crashes)
 	}
 	return nil
 }

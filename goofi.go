@@ -51,6 +51,7 @@ import (
 	"goofi/internal/sqldb"
 	"goofi/internal/target"
 	"goofi/internal/thor"
+	"goofi/internal/vfs"
 	"goofi/internal/workload"
 )
 
@@ -202,6 +203,63 @@ func OpenDatabaseWAL(path string, opts WALOptions) (*Database, error) {
 
 // NewMemoryDatabase creates an in-memory campaign database.
 func NewMemoryDatabase() (*Database, error) { return dbase.NewMemoryStore() }
+
+// Storage fault injection (self-injection): every file operation of the
+// campaign database — image writes, WAL appends, fsyncs, checkpoints —
+// routes through an FS seam, and FaultyFS wraps that seam with seeded,
+// deterministic fault injection. The same method GOOFI applies to target
+// systems, applied to the tool's own storage path: `goofi run
+// -storage-chaos` proves acknowledged rows survive torn writes, lying
+// fsyncs and injected crashes.
+type (
+	// FS is the filesystem seam the campaign store's file operations route
+	// through; the default is the real filesystem (OSFilesystem).
+	FS = vfs.FS
+	// FaultyFS injects seeded deterministic storage faults: transient and
+	// sticky errors per op class, torn writes, sync lies with
+	// lost-unsynced-data simulation, and an in-process crash point. Every
+	// decision is a pure function of (seed, op-index), so any observed
+	// failure replays exactly.
+	FaultyFS = vfs.Faulty
+	// FaultyFSConfig configures injected storage-fault rates, seed and
+	// schedule.
+	FaultyFSConfig = vfs.FaultyConfig
+	// FaultyFSStats reports how many storage faults a FaultyFS injected.
+	FaultyFSStats = vfs.FaultyStats
+	// FaultSchedule is an explicit op-indexed storage-fault plan with a text
+	// codec ("12:werr,40:torn"), the replay currency for failures found by
+	// seed search.
+	FaultSchedule = vfs.Schedule
+)
+
+// OSFilesystem returns the passthrough FS over the real filesystem.
+func OSFilesystem() FS { return vfs.OS{} }
+
+// NewFaultyFS wraps base with seeded storage-fault injection.
+func NewFaultyFS(base FS, cfg FaultyFSConfig) (*FaultyFS, error) { return vfs.NewFaulty(base, cfg) }
+
+// ParseFaultyFSConfig parses a -storage-chaos spec like
+// "write=0.01,sync=0.01,torn=0.005,seed=7" (keys: open, read, write, sync,
+// rename, sticky, torn, lie, seed, crashat, dirsync, sched).
+func ParseFaultyFSConfig(spec string) (FaultyFSConfig, error) { return vfs.ParseFaultyConfig(spec) }
+
+// ParseFaultSchedule parses the canonical "op:kind,..." schedule text form.
+func ParseFaultSchedule(spec string) (FaultSchedule, error) { return vfs.ParseSchedule(spec) }
+
+// IsInjectedStorageError reports whether err was injected by a FaultyFS.
+func IsInjectedStorageError(err error) bool { return vfs.IsInjected(err) }
+
+// OpenDatabaseFS is OpenDatabase over an explicit filesystem — pass a
+// FaultyFS to inject storage faults under the campaign database.
+func OpenDatabaseFS(path string, fsys FS) (*Database, error) {
+	return dbase.OpenStoreFS(path, fsys)
+}
+
+// OpenDatabaseWALFS is OpenDatabaseWAL over an explicit filesystem: image
+// load, WAL replay, group commits and checkpoints all route through fsys.
+func OpenDatabaseWALFS(path string, fsys FS, opts WALOptions) (*Database, error) {
+	return dbase.OpenStoreWALFS(path, fsys, opts)
+}
 
 // RegisterTarget stores the target's description and fault-location
 // inventory in the database (the configuration phase, §3.1).

@@ -553,7 +553,7 @@ func (r *Runner) runForked(tech technique, locs []faultmodel.Location, logged ma
 				pending = pending[:0]
 				return
 			}
-			if attempt >= flushRetryLimit || !target.IsTransient(err) {
+			if attempt >= flushRetryLimit || !storeErrTransient(err) {
 				break
 			}
 			time.Sleep(flushRetryBackoff << attempt)

@@ -15,6 +15,7 @@ import (
 	"goofi/internal/faultmodel"
 	"goofi/internal/obsv"
 	"goofi/internal/target"
+	"goofi/internal/vfs"
 )
 
 // ErrStopped is returned by Run when the campaign was ended through Stop or
@@ -524,7 +525,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			return sum, fmt.Errorf("core: experiment %d: %w", i, out.err)
 		}
 		fsp := r.Recorder.Begin(obsv.PhaseFlush, 0)
-		err = r.store.PutExperiment(r.outcomeRow(name, "", out))
+		err = r.putExperiment(r.outcomeRow(name, "", out))
 		fsp.End()
 		if err != nil {
 			return sum, err
@@ -634,6 +635,32 @@ const (
 	flushRetryLimit   = 3
 	flushRetryBackoff = 5 * time.Millisecond
 )
+
+// storeErrTransient reports whether a store failure is worth retrying: a
+// transient target-side fault (target.IsTransient — the taxonomy the retry
+// machinery already speaks) or a transient injected storage fault
+// (vfs.IsTransient — vfs.Faulty under -storage-chaos). Both ride the same
+// bounded retry budget, so a campaign on a flaky disk completes exactly like
+// one on a healthy disk.
+func storeErrTransient(err error) bool {
+	return target.IsTransient(err) || vfs.IsTransient(err)
+}
+
+// putExperiment logs one row, absorbing transient store faults with the same
+// bounded backoff as the parallel flush stage — the sequential path (the CLI
+// default, Workers=1) must not abort a campaign on one transient disk fault.
+func (r *Runner) putExperiment(row dbase.ExperimentRow) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = r.store.PutExperiment(row); err == nil {
+			return nil
+		}
+		if attempt >= flushRetryLimit || !storeErrTransient(err) {
+			return err
+		}
+		time.Sleep(flushRetryBackoff << attempt)
+	}
+}
 
 // runParallel is the worker-pool campaign engine. Every injection plan is
 // pre-drawn here, on the coordinating goroutine, from the single seeded PRNG
@@ -804,7 +831,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 				pending = pending[:0]
 				return
 			}
-			if attempt >= flushRetryLimit || !target.IsTransient(err) {
+			if attempt >= flushRetryLimit || !storeErrTransient(err) {
 				break
 			}
 			time.Sleep(flushRetryBackoff << attempt)
@@ -951,7 +978,7 @@ func (r *Runner) outcomeRow(name, parent string, out runOutcome) dbase.Experimen
 }
 
 func (r *Runner) logExperiment(name, parent string, exp Experiment) error {
-	return r.store.PutExperiment(r.experimentRow(name, parent, exp))
+	return r.putExperiment(r.experimentRow(name, parent, exp))
 }
 
 // RerunDetail repeats a logged experiment in detail mode, logging the trace

@@ -18,7 +18,27 @@ import (
 
 	"goofi/internal/obsv"
 	"goofi/internal/sqldb"
+	"goofi/internal/vfs"
 )
+
+// storageRetryLimit bounds how many times an open or save retries a storage
+// fault that identifies itself as transient (vfs.IsTransient). The campaign
+// store must ride out a flaky disk the way the runner rides out a flaky
+// target: a -storage-chaos run with transient-only faults completes exactly
+// like a fault-free one.
+const storageRetryLimit = 3
+
+// retryTransient runs fn, retrying transient injected storage faults a
+// bounded number of times; any other failure surfaces immediately.
+func retryTransient(fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= storageRetryLimit || !vfs.IsTransient(err) {
+			return err
+		}
+	}
+}
 
 // ErrNotFound is returned when a requested row does not exist.
 var ErrNotFound = errors.New("dbase: not found")
@@ -162,7 +182,20 @@ func NewMemoryStore() (*Store, error) {
 
 // OpenStore loads (or creates) a store backed by a database file.
 func OpenStore(path string) (*Store, error) {
-	db, err := sqldb.Open(path)
+	return OpenStoreFS(path, vfs.OS{})
+}
+
+// OpenStoreFS is OpenStore over an explicit filesystem — the storage-fault
+// seam. Transient open faults (a vfs.Faulty read error mid-load) are retried:
+// each attempt rebuilds the database from scratch, so a failed partial load
+// leaves nothing behind.
+func OpenStoreFS(path string, fsys vfs.FS) (*Store, error) {
+	var db *sqldb.DB
+	err := retryTransient(func() error {
+		var oerr error
+		db, oerr = sqldb.OpenFS(path, fsys)
+		return oerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dbase: %w", err)
 	}
@@ -179,7 +212,19 @@ func OpenStore(path string) (*Store, error) {
 // O(database) and acknowledged rows survive a crash. Save becomes a
 // checkpoint (fold the log into the image); call Close when done.
 func OpenStoreWAL(path string, opts sqldb.WALOptions) (*Store, error) {
-	db, err := sqldb.OpenWithWAL(path, opts)
+	return OpenStoreWALFS(path, vfs.OS{}, opts)
+}
+
+// OpenStoreWALFS is OpenStoreWAL over an explicit filesystem: image load,
+// WAL replay, group commits and checkpoints all route through fsys, and
+// transient open faults are retried as in OpenStoreFS.
+func OpenStoreWALFS(path string, fsys vfs.FS, opts sqldb.WALOptions) (*Store, error) {
+	var db *sqldb.DB
+	err := retryTransient(func() error {
+		var oerr error
+		db, oerr = sqldb.OpenWithWALFS(path, fsys, opts)
+		return oerr
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dbase: %w", err)
 	}
@@ -192,13 +237,15 @@ func OpenStoreWAL(path string, opts sqldb.WALOptions) (*Store, error) {
 }
 
 // Save persists a file-backed store; it is an error on in-memory stores. On
-// a WAL-backed store this is a checkpoint.
+// a WAL-backed store this is a checkpoint. Transient storage faults are
+// retried: Save (and Checkpoint) only advance the image generation after the
+// durable write lands, so a failed attempt is safe to repeat.
 func (s *Store) Save() error {
 	defer s.timeOp("Save")(0)
 	if s.path == "" {
 		return fmt.Errorf("dbase: in-memory store cannot be saved")
 	}
-	return s.db.Save(s.path)
+	return retryTransient(func() error { return s.db.Save(s.path) })
 }
 
 // Close flushes and detaches a WAL-backed store's log; it is a no-op on

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"goofi/internal/obsv"
+	"goofi/internal/vfs"
 )
 
 // Exported error values callers can match with errors.Is.
@@ -39,6 +40,9 @@ type DB struct {
 	generation uint64
 	// path is the image file this DB was opened from ("" for New()).
 	path string
+	// fs is the filesystem every file operation routes through; nil means
+	// vfs.OS (see fsys). Immutable once set by the Open* constructors.
+	fs vfs.FS
 
 	// WAL state; wal is nil outside WAL mode and immutable once set.
 	wal     *wal
@@ -160,7 +164,7 @@ func (db *DB) checkpointNow() error {
 	defer db.mu.Unlock()
 	gen := db.generation + 1
 	data := generationHeader(gen) + db.dumpLocked()
-	if err := writeFileDurable(db.path, []byte(data)); err != nil {
+	if err := db.writeFileDurable(db.path, []byte(data)); err != nil {
 		return fmt.Errorf("checkpoint database: %w", err)
 	}
 	// Holding mu means nothing can be enqueued between the image write and

@@ -3,8 +3,9 @@ package sqldb
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
+
+	"goofi/internal/vfs"
 )
 
 // Dump serialises the whole database as a SQL script that, replayed against
@@ -195,58 +196,46 @@ func parseGeneration(data string) uint64 {
 	return gen
 }
 
-// writeFileDurable atomically replaces path with data and makes the
-// replacement survive power loss: the temp file is fsynced before the rename
-// and the parent directory after it (the rename itself lives in directory
-// metadata).
-func writeFileDurable(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".goofidb-*")
-	if err != nil {
-		return err
+// writeFileDurable atomically and durably replaces path with data through
+// the database's VFS — see vfs.WriteFileDurable for the fsync protocol.
+func (db *DB) writeFileDurable(path string, data []byte) error {
+	return vfs.WriteFileDurable(db.fsys(), path, data)
+}
+
+// fsys returns the database's filesystem, defaulting to the real one for DBs
+// constructed before the seam existed (zero values in tests).
+func (db *DB) fsys() vfs.FS {
+	if db.fs == nil {
+		return vfs.OS{}
 	}
-	tmpName := tmp.Name()
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return db.fs
 }
 
 // Save writes the database dump durably and atomically to path. On a
 // WAL-backed database saving to its own path this is a checkpoint: the WAL is
-// folded into the image and truncated. Every save advances the image
-// generation, so a sidecar WAL left beside path by an earlier incarnation is
-// recognised as stale and never replayed over data it is already part of.
+// folded into the image and truncated. Every successful save advances the
+// image generation, so a sidecar WAL left beside path by an earlier
+// incarnation is recognised as stale and never replayed over data it is
+// already part of. A failed save rolls the generation bump back: the on-disk
+// image still carries the old generation, and leaving the in-memory counter
+// ahead would make the *next* save write an image whose generation skips a
+// step while the sidecar WAL still names the current one.
 func (db *DB) Save(path string) error {
 	if db.wal != nil && path == db.path {
 		return db.Checkpoint()
 	}
 	db.mu.Lock()
 	db.generation++
-	data := generationHeader(db.generation) + db.dumpLocked()
+	gen := db.generation
+	data := generationHeader(gen) + db.dumpLocked()
 	db.mu.Unlock()
-	if err := writeFileDurable(path, []byte(data)); err != nil {
+	if err := db.writeFileDurable(path, []byte(data)); err != nil {
+		db.mu.Lock()
+		// Roll back only if no concurrent save advanced past us.
+		if db.generation == gen {
+			db.generation = gen - 1
+		}
+		db.mu.Unlock()
 		return fmt.Errorf("save database: %w", err)
 	}
 	return nil
@@ -255,7 +244,7 @@ func (db *DB) Save(path string) error {
 // loadImage reads the dump image at path into db and returns its generation.
 // A missing file is an empty generation-0 database.
 func (db *DB) loadImage(path string) (uint64, error) {
-	data, err := os.ReadFile(path)
+	data, err := db.fsys().ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -281,14 +270,22 @@ func (db *DB) applyWALRecord(sql string, args []Value) error {
 // so every reader sees the crash-consistent state; the log itself is left for
 // the next WAL open to truncate.
 func Open(path string) (*DB, error) {
+	return OpenFS(path, vfs.OS{})
+}
+
+// OpenFS is Open over an explicit filesystem — the storage-fault seam. Tests
+// and `goofi run -storage-chaos` pass a vfs.Faulty; everything else uses
+// vfs.OS via Open.
+func OpenFS(path string, fsys vfs.FS) (*DB, error) {
 	db := New()
 	db.path = path
+	db.fs = fsys
 	gen, err := db.loadImage(path)
 	if err != nil {
 		return nil, err
 	}
 	db.generation = gen
-	if _, err := replaySidecarWAL(path, gen, db.applyWALRecord); err != nil {
+	if _, err := replaySidecarWAL(fsys, path, gen, db.applyWALRecord); err != nil {
 		return nil, fmt.Errorf("open database %s: %w", path, err)
 	}
 	return db, nil
@@ -301,8 +298,15 @@ func Open(path string) (*DB, error) {
 // before Exec returns. Close flushes and detaches the log; Save (to path) and
 // Checkpoint fold it into the image.
 func OpenWithWAL(path string, opts WALOptions) (*DB, error) {
+	return OpenWithWALFS(path, vfs.OS{}, opts)
+}
+
+// OpenWithWALFS is OpenWithWAL over an explicit filesystem: dump image, WAL
+// sidecar, checkpoints and group commits all route through fsys.
+func OpenWithWALFS(path string, fsys vfs.FS, opts WALOptions) (*DB, error) {
 	db := New()
 	db.path = path
+	db.fs = fsys
 	gen, err := db.loadImage(path)
 	if err != nil {
 		return nil, err
@@ -314,7 +318,7 @@ func OpenWithWAL(path string, opts WALOptions) (*DB, error) {
 	if opts.CheckpointBytes == 0 {
 		opts.CheckpointBytes = DefaultCheckpointBytes
 	}
-	w, err := openWAL(path+".wal", gen, opts, db.applyWALRecord)
+	w, err := openWAL(fsys, path+".wal", gen, opts, db.applyWALRecord)
 	if err != nil {
 		return nil, fmt.Errorf("open database %s: %w", path, err)
 	}

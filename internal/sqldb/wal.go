@@ -23,16 +23,19 @@ package sqldb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"goofi/internal/obsv"
+	"goofi/internal/vfs"
 )
 
 // WALOptions tunes a write-ahead-logged database.
@@ -82,6 +85,9 @@ type WALStats struct {
 	// size; CommitBatches counts group-commit rounds and Fsyncs the rounds
 	// that ended in an fsync.
 	Records, Bytes, CommitBatches, Fsyncs int64
+	// IORetries counts transient storage faults the committer absorbed by
+	// retrying (truncating any torn prefix first) instead of going sticky.
+	IORetries int64
 	// Replayed counts records applied by recovery at open.
 	Replayed int64
 	// Checkpoints counts WAL truncations (explicit and automatic).
@@ -108,6 +114,7 @@ type walReset struct {
 // committer goroutine; producers only append to the pending buffer.
 type wal struct {
 	path string
+	fsys vfs.FS
 	opts WALOptions
 
 	mu      sync.Mutex
@@ -126,10 +133,11 @@ type wal struct {
 
 	rec atomic.Pointer[obsv.Recorder]
 
-	records, bytes, batches, fsyncs, replayed, checkpoints atomic.Int64
+	records, bytes, batches, fsyncs, replayed, checkpoints, ioRetries atomic.Int64
 
 	// Committer-owned state.
-	f          *os.File
+	f          vfs.File
+	fileEnd    int64     // logical end of the log: offset just past the last durable-intent byte
 	generation uint64
 	unsynced   int       // commit batches since the last fsync
 	lastSync   time.Time // of the last fsync
@@ -271,8 +279,10 @@ func walHeader(gen uint64) []byte {
 // replayWALFile reads frames from r and applies each decoded statement,
 // stopping cleanly at the first torn or corrupt frame. It returns the file
 // offset just past the last valid frame and the number of records applied.
-// Only apply errors are reported — tail damage is the expected shape of a
-// crash and is simply where replay ends.
+// Apply errors and real read errors are reported — only EOF-shaped damage is
+// the expected tail of a crash and simply where replay ends. A transient
+// device error must not masquerade as a clean tail, or recovery would
+// silently truncate acknowledged records.
 func replayWALFile(r io.Reader, apply func(sql string, args []Value) error) (int64, int64, error) {
 	br := &countingReader{r: r}
 	valid := int64(walHeaderSize)
@@ -280,6 +290,9 @@ func replayWALFile(r io.Reader, apply func(sql string, args []Value) error) (int
 	var frame [walFrameSize]byte
 	for {
 		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if !isEOFShaped(err) {
+				return valid, n, fmt.Errorf("wal replay: read frame: %w", err)
+			}
 			return valid, n, nil // clean end or torn frame header
 		}
 		length := binary.LittleEndian.Uint32(frame[:4])
@@ -289,6 +302,9 @@ func replayWALFile(r io.Reader, apply func(sql string, args []Value) error) (int
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
+			if !isEOFShaped(err) {
+				return valid, n, fmt.Errorf("wal replay: read payload: %w", err)
+			}
 			return valid, n, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
@@ -304,6 +320,12 @@ func replayWALFile(r io.Reader, apply func(sql string, args []Value) error) (int
 		n++
 		valid = int64(walHeaderSize) + br.n
 	}
+}
+
+// isEOFShaped reports whether a read error means "the file ends here" — the
+// one kind of failure replay is allowed to treat as a clean torn tail.
+func isEOFShaped(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 type countingReader struct {
@@ -322,8 +344,8 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // consumer of the database file (analysis, reporting, goofi-db) sees
 // crash-consistent data without opting into WAL mode. A missing, empty,
 // foreign or stale-generation sidecar is silently ignored.
-func replaySidecarWAL(dbPath string, gen uint64, apply func(sql string, args []Value) error) (int64, error) {
-	f, err := os.Open(dbPath + ".wal")
+func replaySidecarWAL(fsys vfs.FS, dbPath string, gen uint64, apply func(sql string, args []Value) error) (int64, error) {
+	f, err := fsys.Open(dbPath + ".wal")
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -333,6 +355,9 @@ func replaySidecarWAL(dbPath string, gen uint64, apply func(sql string, args []V
 	defer f.Close()
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if !isEOFShaped(err) {
+			return 0, fmt.Errorf("open wal: read header: %w", err)
+		}
 		return 0, nil // empty or torn header: nothing durable in it
 	}
 	if string(hdr[:4]) != walMagic || binary.LittleEndian.Uint32(hdr[4:8]) != walVersion {
@@ -349,16 +374,17 @@ func replaySidecarWAL(dbPath string, gen uint64, apply func(sql string, args []V
 // apply when its generation matches gen, resets it when stale, truncates any
 // torn tail, and returns the ready-to-append wal. The committer goroutine is
 // not yet started.
-func openWAL(path string, gen uint64, opts WALOptions, apply func(sql string, args []Value) error) (*wal, error) {
+func openWAL(fsys vfs.FS, path string, gen uint64, opts WALOptions, apply func(sql string, args []Value) error) (*wal, error) {
 	if opts.SyncInterval <= 0 {
 		opts.SyncInterval = DefaultSyncInterval
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("open wal: %w", err)
 	}
 	w := &wal{
 		path:       path,
+		fsys:       fsys,
 		opts:       opts,
 		kick:       make(chan struct{}, 1),
 		quit:       make(chan struct{}),
@@ -409,12 +435,19 @@ func openWAL(path string, gen uint64, opts WALOptions, apply func(sql string, ar
 		if err := f.Sync(); err != nil {
 			return fail(fmt.Errorf("reset wal: %w", err))
 		}
+		// The file's *name* lives in directory metadata: without a directory
+		// sync a power cut can erase a freshly created log along with every
+		// record appended to it.
+		if err := vfs.SyncDir(fsys, filepath.Dir(path)); err != nil {
+			return fail(fmt.Errorf("open wal: %w", err))
+		}
 	} else if err := f.Truncate(end); err != nil { // drop any torn tail
 		return fail(fmt.Errorf("truncate wal tail: %w", err))
 	}
 	if _, err := f.Seek(end, io.SeekStart); err != nil {
 		return fail(fmt.Errorf("open wal: %w", err))
 	}
+	w.fileEnd = end
 	w.size.Store(end)
 	return w, nil
 }
@@ -469,22 +502,24 @@ func (w *wal) wake() {
 }
 
 // close flushes and fsyncs everything pending, stops the committer and closes
-// the file.
+// the file. A WAL that already went sticky-failed still has a live committer
+// goroutine and an open descriptor: close stops and releases both, then
+// reports the original failure.
 func (w *wal) close() error {
 	w.mu.Lock()
-	if w.failed != nil {
-		err := w.failed
-		w.mu.Unlock()
-		if err == errWALClosed {
-			return nil
-		}
-		return err
-	}
+	prior := w.failed
 	w.failed = errWALClosed
 	w.mu.Unlock()
+	if prior == errWALClosed {
+		return nil // second close: committer already stopped, file already closed
+	}
 	close(w.quit)
 	<-w.done
-	return w.f.Close()
+	cerr := w.f.Close()
+	if prior != nil {
+		return prior
+	}
+	return cerr
 }
 
 var errWALClosed = fmt.Errorf("sqldb: wal closed")
@@ -495,6 +530,7 @@ func (w *wal) stats() WALStats {
 		Bytes:         w.bytes.Load(),
 		CommitBatches: w.batches.Load(),
 		Fsyncs:        w.fsyncs.Load(),
+		IORetries:     w.ioRetries.Load(),
 		Replayed:      w.replayed.Load(),
 		Checkpoints:   w.checkpoints.Load(),
 		Size:          w.size.Load(),
@@ -577,7 +613,21 @@ func (w *wal) commit(final bool) (deferred bool) {
 	}
 
 	sp := rec.Begin(obsv.PhaseWALAppend, walCommitTID)
-	_, err := w.f.Write(buf)
+	err := w.retryTransient(rec, func() error {
+		_, werr := w.f.Write(buf)
+		return werr
+	}, func() error {
+		// A failed write may still have landed a torn prefix; drop it and
+		// restore the append position so the retry rewrites the whole batch.
+		if terr := w.f.Truncate(w.fileEnd); terr != nil {
+			return terr
+		}
+		_, serr := w.f.Seek(w.fileEnd, io.SeekStart)
+		return serr
+	})
+	if err == nil {
+		w.fileEnd += int64(len(buf))
+	}
 	w.batches.Add(1)
 	w.unsynced++
 	doSync := err == nil &&
@@ -604,8 +654,35 @@ func (w *wal) commit(final bool) (deferred bool) {
 	return err == nil && !doSync
 }
 
+// walIORetryLimit bounds how many times the committer retries an injected
+// transient storage fault before declaring the WAL sticky-failed.
+const walIORetryLimit = 3
+
+// retryTransient runs fn, retrying transient injected storage faults (see
+// vfs.IsTransient) up to walIORetryLimit times; any other error — or a real
+// device error — fails on the first attempt, preserving the sticky-failure
+// policy. Between attempts undo (when non-nil) repairs partial effects, e.g.
+// truncating a torn write; if undo itself fails the original error is
+// returned unretried.
+func (w *wal) retryTransient(rec *obsv.Recorder, fn, undo func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= walIORetryLimit || !vfs.IsTransient(err) {
+			return err
+		}
+		if undo != nil {
+			if uerr := undo(); uerr != nil {
+				return err
+			}
+		}
+		w.ioRetries.Add(1)
+		rec.Count("wal.io-retries", 1)
+	}
+}
+
 func (w *wal) syncFile(rec *obsv.Recorder) error {
-	err := w.f.Sync()
+	err := w.retryTransient(rec, w.f.Sync, nil)
 	if err != nil {
 		w.fail(err)
 		return err
@@ -617,15 +694,22 @@ func (w *wal) syncFile(rec *obsv.Recorder) error {
 	return nil
 }
 
-// resetFile truncates the log to a fresh header at generation gen.
+// resetFile truncates the log to a fresh header at generation gen. Header
+// write and sync retry transient faults: a positional rewrite at offset 0
+// self-repairs a torn header, so retrying is always safe here.
 func (w *wal) resetFile(gen uint64) error {
+	rec := w.rec.Load()
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("reset wal: %w", err)
 	}
-	if _, err := w.f.WriteAt(walHeader(gen), 0); err != nil {
+	err := w.retryTransient(rec, func() error {
+		_, werr := w.f.WriteAt(walHeader(gen), 0)
+		return werr
+	}, nil)
+	if err != nil {
 		return fmt.Errorf("reset wal: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.retryTransient(rec, w.f.Sync, nil); err != nil {
 		return fmt.Errorf("reset wal: %w", err)
 	}
 	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
@@ -634,9 +718,10 @@ func (w *wal) resetFile(gen uint64) error {
 	w.generation = gen
 	w.unsynced = 0
 	w.lastSync = time.Now()
+	w.fileEnd = walHeaderSize
 	w.size.Store(walHeaderSize)
 	w.checkpoints.Add(1)
-	w.rec.Load().Count("wal.checkpoints", 1)
+	rec.Count("wal.checkpoints", 1)
 	return nil
 }
 

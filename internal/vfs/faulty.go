@@ -1,0 +1,898 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"goofi/internal/obsv"
+)
+
+// Sentinel errors callers classify injected faults with.
+var (
+	// ErrInjected marks every error Faulty manufactures (errors.Is).
+	ErrInjected = errors.New("vfs: injected fault")
+	// ErrTransient additionally marks injected errors that a retry may
+	// clear — the storage-level analogue of target.ErrTransient. Sticky
+	// errors and simulated crashes do not carry it.
+	ErrTransient = errors.New("vfs: transient injected fault")
+	// ErrCrashed is returned by every operation past a simulated crash
+	// point (FaultyConfig.CrashAtOp) and by operations on handles
+	// invalidated by Crash.
+	ErrCrashed = errors.New("vfs: simulated crash")
+)
+
+// IsInjected reports whether err is (or wraps) an injected storage fault.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// IsTransient reports whether err is an injected storage fault that a
+// bounded retry is expected to clear.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// injectedError is one manufactured fault, carrying enough context to
+// reproduce it: the op index and the fault kind.
+type injectedError struct {
+	kind FaultKind
+	op   uint64
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("vfs: injected %s at op %d", e.kind, e.op)
+}
+
+func (e *injectedError) Unwrap() []error {
+	switch e.kind {
+	case FaultSticky:
+		return []error{ErrInjected}
+	case FaultCrash:
+		return []error{ErrInjected, ErrCrashed}
+	default:
+		return []error{ErrInjected, ErrTransient}
+	}
+}
+
+// FaultKind names one class of injected fault — the unit of the replay
+// schedule codec.
+type FaultKind uint8
+
+const (
+	// FaultNone is the zero kind; it never appears in a history.
+	FaultNone FaultKind = iota
+	// FaultOpenErr is a transient error on Open/Create/OpenFile/ReadFile/ReadDir.
+	FaultOpenErr
+	// FaultReadErr is a transient error on Read/ReadAt.
+	FaultReadErr
+	// FaultWriteErr is a transient error on Write/WriteAt; nothing is written.
+	FaultWriteErr
+	// FaultSyncErr is a transient error on Sync; nothing becomes durable.
+	FaultSyncErr
+	// FaultRenameErr is a transient error on Rename/Remove.
+	FaultRenameErr
+	// FaultSticky permanently poisons the file handle the op ran on.
+	FaultSticky
+	// FaultTorn applies only a prefix of a write and returns a transient
+	// error — the short-write shape of a power cut mid-sector.
+	FaultTorn
+	// FaultLie makes Sync report success without making anything durable.
+	FaultLie
+	// FaultCrash is the simulated whole-filesystem crash point.
+	FaultCrash
+	numFaultKinds
+)
+
+var faultKindNames = [numFaultKinds]string{
+	FaultNone:      "none",
+	FaultOpenErr:   "oerr",
+	FaultReadErr:   "rerr",
+	FaultWriteErr:  "werr",
+	FaultSyncErr:   "serr",
+	FaultRenameErr: "nerr",
+	FaultSticky:    "sticky",
+	FaultTorn:      "torn",
+	FaultLie:       "lie",
+	FaultCrash:     "crash",
+}
+
+func (k FaultKind) String() string {
+	if k < numFaultKinds {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// FaultyConfig tunes a Faulty filesystem. The zero value injects nothing.
+type FaultyConfig struct {
+	// Seed makes every fault decision a pure function of (Seed, op index):
+	// rerunning the same single-threaded op sequence replays the same
+	// faults exactly.
+	Seed int64
+	// Per-op transient error rates, by operation class.
+	OpenErrRate, ReadErrRate, WriteErrRate, SyncErrRate, RenameErrRate float64
+	// StickyErrRate is the per-op probability of a permanent (sticky)
+	// error: the handle the op ran on fails every subsequent operation.
+	// Models a died disk rather than a glitch; the WAL's sticky-failure
+	// policy must fail fast on it, never retry forever.
+	StickyErrRate float64
+	// TornWriteRate is the per-write probability that only a prefix of the
+	// buffer reaches the file before a transient error is returned.
+	TornWriteRate float64
+	// SyncLieRate is the per-sync probability that Sync returns success
+	// without marking anything durable — data acknowledged under a lying
+	// fsync is lost by the next Crash, exactly like hardware write caches
+	// that ignore flush commands.
+	SyncLieRate float64
+	// NonDurableRenames enables strict POSIX directory semantics: file
+	// creations, renames and removals survive Crash only after the parent
+	// directory has been synced. Off, name-level operations are durable
+	// immediately (data still needs an honest fsync).
+	NonDurableRenames bool
+	// CrashAtOp, when positive, fails every operation whose index is >=
+	// CrashAtOp with ErrCrashed — the deterministic in-process stand-in
+	// for SIGKILL. Pair with Crash() to drop unsynced state afterwards.
+	CrashAtOp int64
+	// Schedule forces specific faults at specific op indices regardless of
+	// the rates — the replay mechanism for a failure found by seed search.
+	Schedule Schedule
+}
+
+// Validate checks the rates are probabilities.
+func (c FaultyConfig) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"open", c.OpenErrRate}, {"read", c.ReadErrRate}, {"write", c.WriteErrRate},
+		{"sync", c.SyncErrRate}, {"rename", c.RenameErrRate},
+		{"sticky", c.StickyErrRate}, {"torn", c.TornWriteRate}, {"lie", c.SyncLieRate},
+	} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("vfs: faulty %s rate %g outside [0,1]", r.name, r.rate)
+		}
+	}
+	if c.CrashAtOp < 0 {
+		return fmt.Errorf("vfs: faulty crashat %d negative", c.CrashAtOp)
+	}
+	return nil
+}
+
+// ParseFaultyConfig parses a storage-chaos spec of the form
+// "write=0.01,sync=0.005,torn=0.01,lie=0.002,sticky=0,open=0,read=0,rename=0,seed=3,dirsync=1,crashat=0,sched=12:werr+40:torn".
+// Unknown keys are rejected.
+func ParseFaultyConfig(spec string) (FaultyConfig, error) {
+	var cfg FaultyConfig
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return FaultyConfig{}, fmt.Errorf("vfs: faulty spec %q: want key=value", kv)
+		}
+		switch key {
+		case "open", "read", "write", "sync", "rename", "sticky", "torn", "lie":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return FaultyConfig{}, fmt.Errorf("vfs: faulty %s: %w", key, err)
+			}
+			switch key {
+			case "open":
+				cfg.OpenErrRate = rate
+			case "read":
+				cfg.ReadErrRate = rate
+			case "write":
+				cfg.WriteErrRate = rate
+			case "sync":
+				cfg.SyncErrRate = rate
+			case "rename":
+				cfg.RenameErrRate = rate
+			case "sticky":
+				cfg.StickyErrRate = rate
+			case "torn":
+				cfg.TornWriteRate = rate
+			case "lie":
+				cfg.SyncLieRate = rate
+			}
+		case "seed":
+			seed, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return FaultyConfig{}, fmt.Errorf("vfs: faulty seed: %w", err)
+			}
+			cfg.Seed = seed
+		case "crashat":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return FaultyConfig{}, fmt.Errorf("vfs: faulty crashat: %w", err)
+			}
+			cfg.CrashAtOp = n
+		case "dirsync":
+			cfg.NonDurableRenames = val == "1" || strings.EqualFold(val, "true")
+		case "sched":
+			// "+"-separated inside the comma-separated spec.
+			sched, err := ParseSchedule(strings.ReplaceAll(val, "+", ","))
+			if err != nil {
+				return FaultyConfig{}, err
+			}
+			cfg.Schedule = sched
+		default:
+			return FaultyConfig{}, fmt.Errorf("vfs: faulty spec: unknown key %q", key)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+// FaultyStats is a point-in-time tally of injected faults.
+type FaultyStats struct {
+	// Ops counts every operation that passed through the injector.
+	Ops int64
+	// InjectedErrors counts transient error injections (all classes).
+	InjectedErrors int64
+	// StickyErrors counts handle-poisoning injections.
+	StickyErrors int64
+	// TornWrites counts short-write injections.
+	TornWrites int64
+	// SyncLies counts syncs that claimed success without durability.
+	SyncLies int64
+	// Crashes counts Crash() invocations plus the first ErrCrashed hit.
+	Crashes int64
+}
+
+// finode is the durability state of one tracked file: the content an honest
+// fsync last pinned. It follows the file across renames (name-level
+// durability is tracked separately, in the crash-visible name map).
+type finode struct {
+	synced []byte
+}
+
+// Faulty wraps a base FS and deterministically injects storage faults. Every
+// decision derives from (Seed, op index), so a single-threaded op sequence
+// replays bit-identically; History() returns the injected faults as a
+// Schedule that FaultyConfig.Schedule replays without the rates.
+//
+// Faulty additionally models crash durability: writes are volatile until an
+// honest Sync, name-level operations (create/rename/remove) are volatile
+// until the parent directory syncs when NonDurableRenames is set, and
+// Crash() rolls the base filesystem back to the durable view — the
+// in-process equivalent of SIGKILL plus power loss, hundreds of times per
+// second instead of once per forked child.
+//
+// Concurrency: Faulty is safe for concurrent use, but concurrent callers
+// race for op indices, so determinism holds per interleaving. The storage
+// stack's file I/O is effectively sequential (one committer goroutine, one
+// coordinator), which keeps seeded runs reproducible in practice.
+type Faulty struct {
+	base FS
+	cfg  FaultyConfig
+
+	ops atomic.Int64
+	rec atomic.Pointer[obsv.Recorder]
+
+	mu      sync.Mutex
+	files   map[string]*finode // volatile name -> inode
+	crash   map[string]*finode // crash-durable name -> inode
+	handles map[*faultyFile]struct{}
+	sched   map[uint64]FaultKind
+	history Schedule
+	stats   FaultyStats
+	crashed bool // an ErrCrashed fate was hit (counted once)
+}
+
+// maxHistory bounds the recorded fault schedule; beyond it faults still
+// inject but are no longer recorded.
+const maxHistory = 65536
+
+// NewFaulty wraps base with a deterministic fault injector.
+func NewFaulty(base FS, cfg FaultyConfig) (*Faulty, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Faulty{
+		base:    base,
+		cfg:     cfg,
+		files:   make(map[string]*finode),
+		crash:   make(map[string]*finode),
+		handles: make(map[*faultyFile]struct{}),
+	}
+	if len(cfg.Schedule) > 0 {
+		f.sched = make(map[uint64]FaultKind, len(cfg.Schedule))
+		for _, sf := range cfg.Schedule {
+			f.sched[sf.Op] = sf.Kind
+		}
+	}
+	return f, nil
+}
+
+// SetRecorder attaches an observability recorder: every injected fault is
+// then counted under vfs.* counters. Nil detaches.
+func (f *Faulty) SetRecorder(rec *obsv.Recorder) { f.rec.Store(rec) }
+
+// Stats returns a snapshot of the injected-fault tallies.
+func (f *Faulty) Stats() FaultyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Ops = f.ops.Load()
+	return st
+}
+
+// History returns the faults injected so far, in op order — paste it into
+// FaultyConfig.Schedule (or a "sched=" spec) to replay them exactly.
+func (f *Faulty) History() Schedule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append(Schedule(nil), f.history...)
+}
+
+// --- deterministic decisions ---
+
+// splitmix64 is the canonical 64-bit finalizer — one invertible round is
+// enough to decorrelate consecutive op indices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll draws the uniform [0,1) variate for (seed, op, salt). Distinct salts
+// give independent draws for the same op.
+func (f *Faulty) roll(op uint64, salt uint64) float64 {
+	h := splitmix64(uint64(f.cfg.Seed)<<1 ^ splitmix64(op^salt<<56))
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// Salt constants, one per decision family.
+const (
+	saltSticky = iota + 1
+	saltErr
+	saltTorn
+	saltLie
+	saltTornLen
+)
+
+// nextOp claims the next op index.
+func (f *Faulty) nextOp() uint64 { return uint64(f.ops.Add(1) - 1) }
+
+// decide returns the fate of op index op performing an operation of class
+// kind (one of the *Err kinds, which also selects the rate).
+func (f *Faulty) decide(op uint64, kind FaultKind) FaultKind {
+	if f.cfg.CrashAtOp > 0 && op >= uint64(f.cfg.CrashAtOp) {
+		return FaultCrash
+	}
+	if f.sched != nil {
+		if k, ok := f.sched[op]; ok {
+			return k
+		}
+		return FaultNone
+	}
+	if f.cfg.StickyErrRate > 0 && f.roll(op, saltSticky) < f.cfg.StickyErrRate {
+		return FaultSticky
+	}
+	switch kind {
+	case FaultWriteErr:
+		if f.cfg.TornWriteRate > 0 && f.roll(op, saltTorn) < f.cfg.TornWriteRate {
+			return FaultTorn
+		}
+		if f.cfg.WriteErrRate > 0 && f.roll(op, saltErr) < f.cfg.WriteErrRate {
+			return FaultWriteErr
+		}
+	case FaultSyncErr:
+		if f.cfg.SyncLieRate > 0 && f.roll(op, saltLie) < f.cfg.SyncLieRate {
+			return FaultLie
+		}
+		if f.cfg.SyncErrRate > 0 && f.roll(op, saltErr) < f.cfg.SyncErrRate {
+			return FaultSyncErr
+		}
+	case FaultOpenErr:
+		if f.cfg.OpenErrRate > 0 && f.roll(op, saltErr) < f.cfg.OpenErrRate {
+			return FaultOpenErr
+		}
+	case FaultReadErr:
+		if f.cfg.ReadErrRate > 0 && f.roll(op, saltErr) < f.cfg.ReadErrRate {
+			return FaultReadErr
+		}
+	case FaultRenameErr:
+		if f.cfg.RenameErrRate > 0 && f.roll(op, saltErr) < f.cfg.RenameErrRate {
+			return FaultRenameErr
+		}
+	}
+	return FaultNone
+}
+
+// inject records fault kind at op and returns its error (nil for FaultLie,
+// whose "success" is the fault).
+func (f *Faulty) inject(op uint64, kind FaultKind) error {
+	rec := f.rec.Load()
+	f.mu.Lock()
+	if len(f.history) < maxHistory {
+		f.history = append(f.history, ScheduledFault{Op: op, Kind: kind})
+	}
+	switch kind {
+	case FaultSticky:
+		f.stats.StickyErrors++
+		rec.Count("vfs.errors.sticky", 1)
+	case FaultTorn:
+		f.stats.TornWrites++
+		rec.Count("vfs.writes.torn", 1)
+	case FaultLie:
+		f.stats.SyncLies++
+		rec.Count("vfs.syncs.lied", 1)
+	case FaultCrash:
+		if !f.crashed {
+			f.crashed = true
+			f.stats.Crashes++
+			rec.Count("vfs.crashes", 1)
+		}
+	default:
+		f.stats.InjectedErrors++
+		rec.Count("vfs.errors.injected", 1)
+	}
+	f.mu.Unlock()
+	if kind == FaultLie {
+		return nil
+	}
+	return &injectedError{kind: kind, op: op}
+}
+
+// --- durability model ---
+
+// track returns the inode of a volatile name, lazily snapshotting
+// preexisting base files as durable with their current content. Callers hold
+// f.mu.
+func (f *Faulty) trackLocked(name string) *finode {
+	name = filepath.Clean(name)
+	if ino, ok := f.files[name]; ok {
+		return ino
+	}
+	ino := &finode{}
+	if data, err := f.base.ReadFile(name); err == nil {
+		// Preexisting file: durable as-is, both in data and in name.
+		ino.synced = data
+		f.crash[name] = ino
+	}
+	f.files[name] = ino
+	return ino
+}
+
+// ensureTracked snapshots name's pre-operation durability state. Call it
+// BEFORE a base operation that creates, truncates, renames away or removes
+// the name: a preexisting file's content is pinned as durable before the
+// operation mutates it, and a missing file tracks as volatile-only.
+func (f *Faulty) ensureTracked(name string) {
+	f.mu.Lock()
+	f.trackLocked(name)
+	f.mu.Unlock()
+}
+
+// noteCreate registers a created (or truncated) file in the volatile view;
+// ensureTracked must have run before the base operation.
+func (f *Faulty) noteCreate(name string) {
+	name = filepath.Clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.files[name]
+	if !ok {
+		ino = &finode{}
+		f.files[name] = ino
+	}
+	if !f.cfg.NonDurableRenames {
+		if _, durable := f.crash[name]; !durable {
+			f.crash[name] = ino
+		}
+	}
+}
+
+// noteSyncFile pins the file's current base content as durable data.
+func (f *Faulty) noteSyncFile(name string) {
+	name = filepath.Clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino := f.trackLocked(name)
+	if data, err := f.base.ReadFile(name); err == nil {
+		ino.synced = data
+	}
+}
+
+// noteSyncDir commits every pending name-level operation under dir: names
+// present in the volatile view become crash-durable, names removed from it
+// stop being.
+func (f *Faulty) noteSyncDir(dir string) {
+	dir = filepath.Clean(dir)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for name, ino := range f.files {
+		if filepath.Dir(name) == dir {
+			f.crash[name] = ino
+		}
+	}
+	for name := range f.crash {
+		if filepath.Dir(name) == dir {
+			if _, ok := f.files[name]; !ok {
+				delete(f.crash, name)
+			}
+		}
+	}
+}
+
+// noteRename moves the volatile name and, outside strict mode, the durable
+// name with it.
+func (f *Faulty) noteRename(oldpath, newpath string) {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino := f.trackLocked(oldpath)
+	delete(f.files, oldpath)
+	f.files[newpath] = ino
+	if !f.cfg.NonDurableRenames {
+		delete(f.crash, oldpath)
+		f.crash[newpath] = ino
+	}
+}
+
+// noteRemove drops the volatile name and, outside strict mode, the durable
+// one.
+func (f *Faulty) noteRemove(name string) {
+	name = filepath.Clean(name)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trackLocked(name)
+	delete(f.files, name)
+	if !f.cfg.NonDurableRenames {
+		delete(f.crash, name)
+	}
+}
+
+// Crash simulates power loss: the base filesystem is rolled back to the
+// durable view (files revert to their last honestly-synced content,
+// uncommitted creations disappear, uncommitted renames and removals revert),
+// every open handle is invalidated, and the injector keeps counting ops so a
+// subsequent reopen sees fresh indices. The op counter and history are
+// preserved — the crash is part of the schedule, not a reset of it.
+func (f *Faulty) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for h := range f.handles {
+		h.kill()
+	}
+	f.handles = make(map[*faultyFile]struct{})
+	// Remove names that never became durable.
+	for name := range f.files {
+		if _, ok := f.crash[name]; !ok {
+			_ = f.base.Remove(name)
+		}
+	}
+	// Restore every durable name to its synced content.
+	for name, ino := range f.crash {
+		w, err := f.base.Create(name)
+		if err != nil {
+			return fmt.Errorf("vfs: crash restore %s: %w", name, err)
+		}
+		if len(ino.synced) > 0 {
+			if _, err := w.Write(ino.synced); err != nil {
+				w.Close()
+				return fmt.Errorf("vfs: crash restore %s: %w", name, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("vfs: crash restore %s: %w", name, err)
+		}
+	}
+	// The post-crash volatile view is exactly the durable view.
+	f.files = make(map[string]*finode, len(f.crash))
+	for name, ino := range f.crash {
+		f.files[name] = &finode{synced: append([]byte(nil), ino.synced...)}
+	}
+	f.crash = make(map[string]*finode, len(f.files))
+	for name, ino := range f.files {
+		f.crash[name] = ino
+	}
+	if !f.crashed {
+		f.stats.Crashes++
+		f.rec.Load().Count("vfs.crashes", 1)
+	}
+	f.crashed = false
+	return nil
+}
+
+// ClearCrashPoint disables a configured CrashAtOp so the filesystem can be
+// reused for the post-crash recovery phase of an in-process rig.
+func (f *Faulty) ClearCrashPoint() {
+	f.mu.Lock()
+	f.cfg.CrashAtOp = 0
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// --- FS implementation ---
+
+func (f *Faulty) openErr() error {
+	op := f.nextOp()
+	if fate := f.decide(op, FaultOpenErr); fate != FaultNone && fate != FaultLie && fate != FaultTorn {
+		return f.inject(op, fate)
+	}
+	return nil
+}
+
+func (f *Faulty) Open(name string) (File, error) {
+	if err := f.openErr(); err != nil {
+		return nil, err
+	}
+	base, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(base, name), nil
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	if err := f.openErr(); err != nil {
+		return nil, err
+	}
+	f.ensureTracked(name)
+	base, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.noteCreate(name)
+	return f.wrap(base, name), nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.openErr(); err != nil {
+		return nil, err
+	}
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		f.ensureTracked(name)
+	}
+	base, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		f.noteCreate(name)
+	}
+	return f.wrap(base, name), nil
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	op := f.nextOp()
+	if fate := f.decide(op, FaultRenameErr); fate != FaultNone && fate != FaultLie && fate != FaultTorn {
+		return f.inject(op, fate)
+	}
+	// Track both ends before the base rename: the source so its synced
+	// content travels with the inode, and the destination so a preexisting
+	// durable file it replaces survives an un-dir-synced rename plus crash.
+	f.ensureTracked(oldpath)
+	f.ensureTracked(newpath)
+	if err := f.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.noteRename(oldpath, newpath)
+	return nil
+}
+
+func (f *Faulty) Remove(name string) error {
+	op := f.nextOp()
+	if fate := f.decide(op, FaultRenameErr); fate != FaultNone && fate != FaultLie && fate != FaultTorn {
+		return f.inject(op, fate)
+	}
+	f.ensureTracked(name)
+	if err := f.base.Remove(name); err != nil {
+		return err
+	}
+	f.noteRemove(name)
+	return nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	op := f.nextOp()
+	if fate := f.decide(op, FaultReadErr); fate != FaultNone && fate != FaultLie && fate != FaultTorn {
+		return nil, f.inject(op, fate)
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.openErr(); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *Faulty) wrap(base File, name string) *faultyFile {
+	ff := &faultyFile{fs: f, f: base, name: filepath.Clean(name)}
+	if st, err := base.Stat(); err == nil {
+		ff.dir = st.IsDir()
+	}
+	f.mu.Lock()
+	f.handles[ff] = struct{}{}
+	f.mu.Unlock()
+	return ff
+}
+
+// --- File implementation ---
+
+// faultyFile wraps one open base file. A sticky injected error poisons the
+// handle; Crash invalidates it outright.
+type faultyFile struct {
+	fs   *Faulty
+	f    File
+	name string
+	dir  bool
+
+	mu     sync.Mutex
+	sticky error
+	dead   bool
+}
+
+func (ff *faultyFile) kill() {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if !ff.dead {
+		ff.dead = true
+		_ = ff.f.Close() // the process "died": release the real descriptor
+	}
+}
+
+// gate claims an op index and resolves the handle's fate for an operation of
+// class kind. It returns the error to surface (nil = proceed) and, for
+// FaultTorn / FaultLie, the fate so the caller applies the partial effect.
+func (ff *faultyFile) gate(kind FaultKind) (FaultKind, uint64, error) {
+	ff.mu.Lock()
+	if ff.dead {
+		ff.mu.Unlock()
+		return FaultNone, 0, fmt.Errorf("vfs: %s: handle invalidated: %w", ff.name, ErrCrashed)
+	}
+	if ff.sticky != nil {
+		err := ff.sticky
+		ff.mu.Unlock()
+		return FaultNone, 0, err
+	}
+	ff.mu.Unlock()
+	op := ff.fs.nextOp()
+	fate := ff.fs.decide(op, kind)
+	switch fate {
+	case FaultNone:
+		return FaultNone, op, nil
+	case FaultSticky:
+		err := ff.fs.inject(op, fate)
+		ff.mu.Lock()
+		ff.sticky = err
+		ff.mu.Unlock()
+		return fate, op, err
+	case FaultTorn, FaultLie:
+		return fate, op, nil // caller applies the partial effect and records
+	default:
+		return fate, op, ff.fs.inject(op, fate)
+	}
+}
+
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if _, _, err := ff.gate(FaultReadErr); err != nil {
+		return 0, err
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, _, err := ff.gate(FaultReadErr); err != nil {
+		return 0, err
+	}
+	return ff.f.ReadAt(p, off)
+}
+
+// tornLen picks the deterministic prefix length of a torn write: at least 0,
+// strictly less than n.
+func (ff *faultyFile) tornLen(op uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := splitmix64(uint64(ff.fs.cfg.Seed) ^ splitmix64(op^uint64(saltTornLen)<<56))
+	return int(h % uint64(n))
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	fate, op, err := ff.gate(FaultWriteErr)
+	if err != nil {
+		return 0, err
+	}
+	if fate == FaultTorn {
+		k := ff.tornLen(op, len(p))
+		n := 0
+		if k > 0 {
+			n, _ = ff.f.Write(p[:k])
+		}
+		return n, ff.fs.inject(op, FaultTorn)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultyFile) WriteAt(p []byte, off int64) (int, error) {
+	fate, op, err := ff.gate(FaultWriteErr)
+	if err != nil {
+		return 0, err
+	}
+	if fate == FaultTorn {
+		k := ff.tornLen(op, len(p))
+		n := 0
+		if k > 0 {
+			n, _ = ff.f.WriteAt(p[:k], off)
+		}
+		return n, ff.fs.inject(op, FaultTorn)
+	}
+	return ff.f.WriteAt(p, off)
+}
+
+func (ff *faultyFile) Sync() error {
+	fate, op, err := ff.gate(FaultSyncErr)
+	if err != nil {
+		return err
+	}
+	if fate == FaultLie {
+		// Report success; commit nothing to the durable view.
+		return ff.fs.inject(op, FaultLie)
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	if ff.dir {
+		ff.fs.noteSyncDir(ff.name)
+	} else {
+		ff.fs.noteSyncFile(ff.name)
+	}
+	return nil
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	if err := ff.liveErr(); err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Truncate(size int64) (err error) {
+	if err := ff.liveErr(); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultyFile) Stat() (fs.FileInfo, error) {
+	if err := ff.liveErr(); err != nil {
+		return nil, err
+	}
+	return ff.f.Stat()
+}
+
+func (ff *faultyFile) Name() string { return ff.name }
+
+func (ff *faultyFile) Close() error {
+	ff.fs.mu.Lock()
+	delete(ff.fs.handles, ff)
+	ff.fs.mu.Unlock()
+	ff.mu.Lock()
+	dead := ff.dead
+	ff.mu.Unlock()
+	if dead {
+		return nil // kill() already closed the base handle
+	}
+	return ff.f.Close()
+}
+
+// liveErr reports the handle's standing failure (dead or sticky) without
+// consuming an op index — metadata ops don't draw faults but must not
+// pretend a poisoned handle works.
+func (ff *faultyFile) liveErr() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.dead {
+		return fmt.Errorf("vfs: %s: handle invalidated: %w", ff.name, ErrCrashed)
+	}
+	return ff.sticky
+}

@@ -1,0 +1,513 @@
+package vfs_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"goofi/internal/vfs"
+)
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", ""},
+		{"12:werr", "12:werr"},
+		{"12:werr,40:torn", "12:werr,40:torn"},
+		{"40:torn,12:werr", "12:werr,40:torn"}, // canonicalised to op order
+		{" 3:lie , 7:serr ", "3:lie,7:serr"},
+		{"0:oerr,1:rerr,2:werr,3:serr,4:nerr,5:sticky,6:torn,7:lie,8:crash",
+			"0:oerr,1:rerr,2:werr,3:serr,4:nerr,5:sticky,6:torn,7:lie,8:crash"},
+	}
+	for _, tc := range cases {
+		sched, err := vfs.ParseSchedule(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", tc.in, err)
+		}
+		if got := sched.String(); got != tc.want {
+			t.Errorf("ParseSchedule(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		again, err := vfs.ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", sched.String(), err)
+		}
+		if again.String() != sched.String() {
+			t.Errorf("codec not idempotent on %q: %q", tc.in, again.String())
+		}
+	}
+
+	for _, bad := range []string{
+		"12:werr,12:torn", // duplicate op
+		"5:none",          // injecting nothing is a typo, not a plan
+		"5:bogus",
+		"nocolon",
+		"x:werr",
+	} {
+		if _, err := vfs.ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestParseFaultyConfig(t *testing.T) {
+	cfg, err := vfs.ParseFaultyConfig(
+		"write=0.25,sync=0.125,torn=0.5,lie=0.01,sticky=0.02,open=0.03,read=0.04,rename=0.05,seed=9,dirsync=1,crashat=77,sched=12:werr+40:torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WriteErrRate != 0.25 || cfg.SyncErrRate != 0.125 || cfg.TornWriteRate != 0.5 ||
+		cfg.SyncLieRate != 0.01 || cfg.StickyErrRate != 0.02 || cfg.OpenErrRate != 0.03 ||
+		cfg.ReadErrRate != 0.04 || cfg.RenameErrRate != 0.05 {
+		t.Errorf("rates mis-parsed: %+v", cfg)
+	}
+	if cfg.Seed != 9 || !cfg.NonDurableRenames || cfg.CrashAtOp != 77 {
+		t.Errorf("seed/dirsync/crashat mis-parsed: %+v", cfg)
+	}
+	if cfg.Schedule.String() != "12:werr,40:torn" {
+		t.Errorf("sched mis-parsed: %q", cfg.Schedule.String())
+	}
+
+	for _, bad := range []string{
+		"bogus=1",
+		"write=nope",
+		"write=1.5", // rate outside [0,1]
+		"crashat=-3",
+		"write",
+	} {
+		if _, err := vfs.ParseFaultyConfig(bad); err == nil {
+			t.Errorf("ParseFaultyConfig(%q): want error, got nil", bad)
+		}
+	}
+}
+
+// faultProbe runs a fixed single-threaded op sequence, ignoring injected
+// errors, and returns the fault history — the probe sequence is identical
+// across runs, so determinism tests can compare histories directly.
+func faultProbe(t *testing.T, cfg vfs.FaultyConfig) vfs.Schedule {
+	t.Helper()
+	f, err := vfs.NewFaulty(vfs.OS{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	p := filepath.Join(dir, "probe.bin")
+	h, err := f.Create(p)
+	if err == nil {
+		for i := 0; i < 30; i++ {
+			_, _ = h.Write([]byte("payload-payload-payload"))
+			if i%5 == 4 {
+				_ = h.Sync()
+			}
+		}
+		h.Close()
+	}
+	_, _ = f.ReadFile(p)
+	if h2, err := f.Open(p); err == nil {
+		buf := make([]byte, 64)
+		_, _ = h2.Read(buf)
+		h2.Close()
+	}
+	_ = f.Rename(p, p+".moved")
+	_ = f.Remove(p + ".moved")
+	return f.History()
+}
+
+func TestFaultyDeterminism(t *testing.T) {
+	cfg := vfs.FaultyConfig{
+		Seed:          42,
+		WriteErrRate:  0.3,
+		SyncErrRate:   0.2,
+		TornWriteRate: 0.15,
+		SyncLieRate:   0.1,
+		ReadErrRate:   0.2,
+		RenameErrRate: 0.3,
+	}
+	h1 := faultProbe(t, cfg)
+	h2 := faultProbe(t, cfg)
+	if h1.String() != h2.String() {
+		t.Fatalf("same seed, same op sequence, different faults:\n  %s\n  %s", h1, h2)
+	}
+	if len(h1) == 0 {
+		t.Fatal("probe with aggressive rates injected nothing; rates are not being applied")
+	}
+
+	// A history replayed as an explicit schedule (rates off) reproduces the
+	// exact same injections — the replay contract of the codec.
+	h3 := faultProbe(t, vfs.FaultyConfig{Seed: 42, Schedule: h1})
+	if h3.String() != h1.String() {
+		t.Fatalf("schedule replay diverged:\n  original %s\n  replayed %s", h1, h3)
+	}
+
+	// A different seed gives a different plan (astronomically likely with
+	// ~100 ops at these rates).
+	cfg.Seed = 43
+	if h4 := faultProbe(t, cfg); h4.String() == h1.String() {
+		t.Fatalf("seeds 42 and 43 produced identical histories: %s", h1)
+	}
+}
+
+func TestFaultyCrashDurability(t *testing.T) {
+	dir := t.TempDir()
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "data.bin")
+	h, err := f.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("SYNCED")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("-volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "SYNCED" {
+		t.Errorf("post-crash content %q, want the synced prefix %q", got, "SYNCED")
+	}
+	// The pre-crash handle is dead.
+	if _, err := h.Write([]byte("x")); !errors.Is(err, vfs.ErrCrashed) {
+		t.Errorf("write on pre-crash handle: err=%v, want ErrCrashed", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Errorf("close of killed handle: %v", err)
+	}
+	if st := f.Stats(); st.Crashes != 1 {
+		t.Errorf("Crashes = %d, want 1", st.Crashes)
+	}
+}
+
+func TestFaultyStrictNameDurability(t *testing.T) {
+	newStrict := func(t *testing.T) *vfs.Faulty {
+		f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{NonDurableRenames: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	write := func(t *testing.T, f vfs.FS, p, content string) {
+		t.Helper()
+		h, err := f.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("creation volatile until dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		f := newStrict(t)
+		p := filepath.Join(dir, "new.bin")
+		write(t, f, p, "content")
+		if err := f.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("un-dir-synced creation survived the crash: stat err=%v", err)
+		}
+	})
+
+	t.Run("creation durable after dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		f := newStrict(t)
+		p := filepath.Join(dir, "new.bin")
+		write(t, f, p, "content")
+		if err := vfs.SyncDir(f, dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := os.ReadFile(p); err != nil || string(got) != "content" {
+			t.Errorf("dir-synced creation: content %q err %v, want %q", got, err, "content")
+		}
+	})
+
+	t.Run("rename over durable file reverts without dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		// The destination predates the injector: durable ground truth.
+		p := filepath.Join(dir, "image.db")
+		if err := os.WriteFile(p, []byte("OLD"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f := newStrict(t)
+		tmp := filepath.Join(dir, "image.tmp")
+		write(t, f, tmp, "NEW")
+		if err := f.Rename(tmp, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := os.ReadFile(p); err != nil || string(got) != "OLD" {
+			t.Errorf("un-dir-synced rename: destination %q err %v, want the old durable %q", got, err, "OLD")
+		}
+	})
+
+	t.Run("rename over durable file commits with dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "image.db")
+		if err := os.WriteFile(p, []byte("OLD"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f := newStrict(t)
+		tmp := filepath.Join(dir, "image.tmp")
+		write(t, f, tmp, "NEW")
+		if err := f.Rename(tmp, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := vfs.SyncDir(f, dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := os.ReadFile(p); err != nil || string(got) != "NEW" {
+			t.Errorf("dir-synced rename: destination %q err %v, want %q", got, err, "NEW")
+		}
+	})
+
+	t.Run("removal reverts without dir sync", func(t *testing.T) {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "keep.bin")
+		if err := os.WriteFile(p, []byte("KEEP"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f := newStrict(t)
+		if err := f.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := os.ReadFile(p); err != nil || string(got) != "KEEP" {
+			t.Errorf("un-dir-synced removal: %q err %v, want the file back as %q", got, err, "KEEP")
+		}
+	})
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{
+		Schedule: vfs.Schedule{{Op: 1, Kind: vfs.FaultTorn}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "torn.bin")
+	h, err := f.Create(p) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	n, err := h.Write(data) // op 1: torn
+	if err == nil || !vfs.IsTransient(err) {
+		t.Fatalf("torn write: n=%d err=%v, want a transient injected error", n, err)
+	}
+	if n >= len(data) {
+		t.Fatalf("torn write wrote %d of %d bytes — not torn", n, len(data))
+	}
+	h.Close()
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n || !bytes.Equal(got, data[:n]) {
+		t.Errorf("file holds %d bytes, want exactly the %d-byte torn prefix", len(got), n)
+	}
+	if st := f.Stats(); st.TornWrites != 1 {
+		t.Errorf("TornWrites = %d, want 1", st.TornWrites)
+	}
+	if h := f.History().String(); h != "1:torn" {
+		t.Errorf("history %q, want %q", h, "1:torn")
+	}
+}
+
+func TestFaultySyncLie(t *testing.T) {
+	dir := t.TempDir()
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{
+		Schedule: vfs.Schedule{{Op: 2, Kind: vfs.FaultLie}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "lied.bin")
+	h, err := f.Create(p) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("doomed")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil { // op 2: the lie reports success
+		t.Fatalf("a lying sync must return nil, got %v", err)
+	}
+	h.Close()
+	if st := f.Stats(); st.SyncLies != 1 {
+		t.Fatalf("SyncLies = %d, want 1", st.SyncLies)
+	}
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("data 'synced' by a lying fsync survived the crash: %q", got)
+	}
+}
+
+func TestFaultyStickyHandle(t *testing.T) {
+	dir := t.TempDir()
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{
+		Schedule: vfs.Schedule{{Op: 1, Kind: vfs.FaultSticky}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Create(filepath.Join(dir, "sick.bin")) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Write([]byte("x")) // op 1: sticky
+	if !vfs.IsInjected(err) || vfs.IsTransient(err) {
+		t.Fatalf("sticky fault: err=%v, want injected and NOT transient", err)
+	}
+	// The handle is poisoned: every later op fails the same way.
+	if _, err2 := h.Write([]byte("y")); !errors.Is(err2, vfs.ErrInjected) {
+		t.Errorf("second write on poisoned handle: %v, want the sticky error", err2)
+	}
+	if err2 := h.Sync(); !errors.Is(err2, vfs.ErrInjected) {
+		t.Errorf("sync on poisoned handle: %v, want the sticky error", err2)
+	}
+	if st := f.Stats(); st.StickyErrors != 1 {
+		t.Errorf("StickyErrors = %d, want 1 (poison must not re-count)", st.StickyErrors)
+	}
+	// Other handles are unaffected.
+	h2, err := f.Create(filepath.Join(dir, "fine.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Write([]byte("ok")); err != nil {
+		t.Errorf("fresh handle after a sticky fault: %v", err)
+	}
+	h2.Close()
+}
+
+func TestFaultyCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{CrashAtOp: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "cp.bin")
+	h, err := f.Create(p) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("pre")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("post")); !errors.Is(err, vfs.ErrCrashed) { // op 2
+		t.Fatalf("op at the crash point: err=%v, want ErrCrashed", err)
+	}
+	// Everything after the crash point dies too, filesystem ops included.
+	if _, err := f.Open(p); !errors.Is(err, vfs.ErrCrashed) {
+		t.Errorf("open past the crash point: %v, want ErrCrashed", err)
+	}
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	f.ClearCrashPoint()
+	// Post-crash the filesystem is reusable; the unsynced write is gone.
+	got, err := f.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("unsynced pre-crash write survived: %q", got)
+	}
+}
+
+// TestWriteFileDurableSurvivesCrash drives the full atomic-replace protocol
+// through a strict-semantics injector: if WriteFileDurable returns success,
+// the new content must survive a crash — the property the checkpoint
+// protocol is built on.
+func TestWriteFileDurableSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "img.db")
+	if err := os.WriteFile(p, []byte("v0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vfs.NewFaulty(vfs.OS{}, vfs.FaultyConfig{NonDurableRenames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFileDurable(f, p, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(p); string(got) != "v1" {
+		t.Errorf("durably written content lost: %q, want %q", got, "v1")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("stray files after WriteFileDurable + crash: %v", entries)
+	}
+}
+
+// FuzzFaultyVFS fuzzes the schedule codec: anything ParseSchedule accepts
+// must render canonically and survive a parse/print round trip unchanged.
+func FuzzFaultyVFS(f *testing.F) {
+	f.Add("12:werr,40:torn")
+	f.Add("0:oerr")
+	f.Add("")
+	f.Add("3:lie, 2:serr ,1:sticky")
+	f.Add("18446744073709551615:crash")
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := vfs.ParseSchedule(s)
+		if err != nil {
+			return // rejected input is fine; we fuzz the accepted half
+		}
+		text := sched.String()
+		again, err := vfs.ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) failed to reparse: %v", text, s, err)
+		}
+		if again.String() != text {
+			t.Fatalf("round trip not stable: %q -> %q -> %q", s, text, again.String())
+		}
+		if len(again) != len(sched) {
+			t.Fatalf("entry count changed in round trip: %d -> %d", len(sched), len(again))
+		}
+	})
+}

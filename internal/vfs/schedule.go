@@ -1,0 +1,94 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScheduledFault pins one fault to one op index.
+type ScheduledFault struct {
+	// Op is the zero-based operation index the fault fires at.
+	Op uint64
+	// Kind is the fault to inject there.
+	Kind FaultKind
+}
+
+// Schedule is an explicit op-indexed fault plan — the replay currency of the
+// injector. Faulty.History() emits one; FaultyConfig.Schedule consumes one;
+// the text codec ("12:werr,40:torn,99:lie") survives log lines and CLI
+// flags, so a failure found by seed search replays from a copy-pasted
+// string.
+type Schedule []ScheduledFault
+
+// String renders the schedule in the canonical text form: comma-separated
+// "op:kind" entries in ascending op order.
+func (s Schedule) String() string {
+	sorted := append(Schedule(nil), s...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Op < sorted[j].Op })
+	var sb strings.Builder
+	for i, sf := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(sf.Op, 10))
+		sb.WriteByte(':')
+		sb.WriteString(sf.Kind.String())
+	}
+	return sb.String()
+}
+
+// parseFaultKind resolves a codec kind name. FaultNone ("none") is rejected:
+// a schedule entry that injects nothing is a typo, not a plan.
+func parseFaultKind(name string) (FaultKind, error) {
+	for k := FaultOpenErr; k < numFaultKinds; k++ {
+		if name == faultKindNames[k] {
+			return k, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("vfs: schedule: unknown fault kind %q", name)
+}
+
+// ParseSchedule parses the canonical text form back into a Schedule. Entries
+// are comma-separated "op:kind"; whitespace around entries is tolerated,
+// duplicate op indices are rejected (a single op has a single fate), and the
+// result is returned in ascending op order — ParseSchedule and String are
+// inverses on canonical input.
+func ParseSchedule(spec string) (Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make(Schedule, 0, len(parts))
+	seen := make(map[uint64]bool, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		opStr, kindStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("vfs: schedule entry %q: want op:kind", part)
+		}
+		op, err := strconv.ParseUint(opStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vfs: schedule entry %q: %w", part, err)
+		}
+		kind, err := parseFaultKind(kindStr)
+		if err != nil {
+			return nil, fmt.Errorf("vfs: schedule entry %q: %w", part, err)
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("vfs: schedule: duplicate op %d", op)
+		}
+		seen[op] = true
+		out = append(out, ScheduledFault{Op: op, Kind: kind})
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package vfs_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"goofi/internal/vfs"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fsys vfs.FS = vfs.OS{}
+	p := filepath.Join(dir, "a.txt")
+
+	h, err := fsys.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := fsys.ReadFile(p)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fsys.Rename(p, p+".2"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil || len(entries) != 1 || entries[0].Name() != "a.txt.2" {
+		t.Fatalf("ReadDir after rename: %v, %v", entries, err)
+	}
+	if err := fsys.Remove(p + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open(p + ".2"); err == nil {
+		t.Fatal("open of removed file succeeded")
+	}
+}
+
+func TestCreateTemp(t *testing.T) {
+	dir := t.TempDir()
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		h, err := vfs.CreateTemp(vfs.OS{}, dir, ".goofidb-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(h.Name())
+		if !strings.HasPrefix(name, ".goofidb-") {
+			t.Errorf("temp name %q does not honour the pattern", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate temp name %q", name)
+		}
+		seen[name] = true
+		if _, err := h.Write([]byte("x")); err != nil {
+			t.Errorf("temp file not writable: %v", err)
+		}
+		h.Close()
+	}
+}
+
+func TestWriteFileDurable(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "img.db")
+	if err := vfs.WriteFileDurable(vfs.OS{}, p, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(p); string(got) != "v1" {
+		t.Fatalf("content %q, want v1", got)
+	}
+	// Replacing an existing file leaves no temp debris behind.
+	if err := vfs.WriteFileDurable(vfs.OS{}, p, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(p); string(got) != "v2" {
+		t.Fatalf("content %q, want v2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files after replace: %v", entries)
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := vfs.SyncDir(vfs.OS{}, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.SyncDir(vfs.OS{}, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}
