@@ -14,7 +14,7 @@ BENCHCOUNT ?= 6
 OLD ?= BENCH_old.json
 NEW ?= BENCH_campaign.json
 
-.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke storagesmoke ci
+.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke storagesmoke servesmoke ci
 
 all: ci
 
@@ -34,9 +34,11 @@ test:
 # in internal/envsim, the concurrent recorder/broadcaster in
 # internal/obsv, the WAL group-commit machinery in internal/sqldb, and the
 # fault-injecting filesystem (shared op counter + durability maps) in
-# internal/vfs; run all eight under the race detector on every change.
+# internal/vfs, and the multi-tenant campaign service (queue scheduler,
+# shard aggregator, drain) in internal/service; run all nine under the
+# race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/... ./internal/vfs/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/... ./internal/vfs/... ./internal/service/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. The raw text lands in
@@ -100,6 +102,16 @@ crashsmoke:
 storagesmoke:
 	$(GO) run ./cmd/crashtest -sim -n 200 -experiments 16 -seed 1
 
+# Campaign-service drain/restart smoke: ten cycles of a forked goofi
+# serve daemon with two tenants submitted over HTTP, SIGTERMed at a
+# seeded random point mid-campaign, inspected offline (every persisted
+# row bit-identical to a no-crash reference), restarted on the same data
+# directory, and polled until the resumed campaigns match the reference
+# row for row. Shard counts rotate across iterations so sharded
+# interruption and reassembly ride the same oracle.
+servesmoke:
+	$(GO) run ./cmd/crashtest -serve -n 10 -experiments 80 -seed 3
+
 # After benchsmoke, gate the smoke numbers against the committed full-run
 # baseline BENCH_campaign.json. Time only (-metrics ns): allocation
 # metrics fold one-off setup into per-op numbers and so only compare
@@ -107,5 +119,5 @@ storagesmoke:
 # (75%): the smoke run is short and lands on whatever machine CI uses,
 # so only order-of-magnitude regressions — a forked campaign falling
 # back to the plain path, a capture turning quadratic — should trip it.
-ci: vet build test race benchsmoke fuzzsmoke crashsmoke storagesmoke
+ci: vet build test race benchsmoke fuzzsmoke crashsmoke storagesmoke servesmoke
 	$(GO) run ./cmd/goofi-bench -diff BENCH_campaign.json -tolerance 75 -metrics ns BENCH_smoke.json

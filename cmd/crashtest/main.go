@@ -73,6 +73,7 @@ func main() {
 	flag.StringVar(&opt.Chaos, "chaos", "err=0.03,panic=0.01,seed=7", "chaos spec for the campaign target (empty = none)")
 	flag.Int64Var(&opt.CheckpointBytes, "checkpoint-bytes", 32<<10, "WAL auto-checkpoint threshold (small = frequent checkpoint crash windows)")
 	flag.BoolVar(&opt.Sim, "sim", false, "in-process simulated crashes via the vfs.Faulty filesystem instead of SIGKILL")
+	flag.BoolVar(&opt.Serve, "serve", false, "drain/restart cycles against a forked goofi serve daemon instead of SIGKILL")
 	flag.StringVar(&opt.SimFaults, "sim-faults", "write=0.01,sync=0.01,torn=0.01,lie=0.005,dirsync=1",
 		"vfs.Faulty spec layered under the store in -sim mode (seed and crashat are set per iteration)")
 	flag.BoolVar(&opt.Verbose, "v", false, "per-iteration detail")
@@ -80,6 +81,9 @@ func main() {
 	run := runHarness
 	if opt.Sim {
 		run = runSimHarness
+	}
+	if opt.Serve {
+		run = runServeHarness
 	}
 	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "crashtest:", err)
@@ -95,6 +99,7 @@ type options struct {
 	Chaos           string
 	CheckpointBytes int64
 	Sim             bool
+	Serve           bool
 	SimFaults       string
 	Verbose         bool
 }
@@ -678,10 +683,14 @@ func (cs *collectStore) acked() []string {
 
 // --- child mode ---
 
-// maybeRunChild runs the child campaign when childEnv is set (and then exits
-// the process) and reports false otherwise. Called first thing from both
-// main() and TestMain, so the same binary serves as parent and victim.
+// maybeRunChild runs the child campaign when childEnv is set — or the serve
+// daemon when serveEnv is — and then exits the process; it reports false
+// otherwise. Called first thing from both main() and TestMain, so the same
+// binary serves as parent and victim.
 func maybeRunChild() bool {
+	if cfgJSON := os.Getenv(serveEnv); cfgJSON != "" {
+		os.Exit(runServeChild(cfgJSON))
+	}
 	cfgJSON := os.Getenv(childEnv)
 	if cfgJSON == "" {
 		return false

@@ -62,6 +62,10 @@ func run(args []string) error {
 		return cmdWatch(rest)
 	case "report":
 		return cmdReport(rest)
+	case "serve":
+		return cmdServe(rest)
+	case "submit":
+		return cmdSubmit(rest)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -86,7 +90,12 @@ Usage:
                   [-wal] [-wal-sync SPEC] [-wal-checkpoint MB]
                   [-metrics-out FILE] [-trace-out FILE] [-debug-addr ADDR]
   goofi stats     -metrics FILE | -diff OLD.json NEW.json
-  goofi watch     HOST:PORT
+  goofi watch     [-campaign TENANT/NAME] [-retries N] HOST:PORT
+  goofi serve     [-addr :8080] [-data DIR] [-queue N] [-concurrency N]
+                  [-wal-sync SPEC] [-drain-timeout D]
+  goofi submit    -addr HOST:PORT (-spec FILE | -tenant T -campaign NAME
+                  -workload W -locations FILTER -n N [-seed S]
+                  [-workers W] [-shards K] [-chaos SPEC])
   goofi report    -db FILE [-campaigns A,B,...] [-format text|csv|html]
                   [-o FILE] [-locations=false]
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
@@ -117,7 +126,9 @@ Observability: -metrics-out dumps per-phase timings and store latency
              -trace-out writes a Chrome trace_event file for chrome://tracing;
              -debug-addr serves expvar + pprof + Prometheus /metrics + the
              /campaign/events live stream during the run (follow it from
-             another terminal with goofi watch HOST:PORT). Runs with
+             another terminal with goofi watch HOST:PORT; watch reconnects
+             with backoff if the stream drops, and -campaign TENANT/NAME
+             follows a goofi serve campaign instead). Runs with
              -metrics-out or -debug-addr also persist interval and final
              engine metrics into the CampaignRunMetrics table, which
              goofi report joins with the analysis results for cross-campaign

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -22,8 +24,14 @@ func cmdReport(args []string) error {
 	format := fs.String("format", "text", "output format: text, csv or html")
 	outPath := fs.String("o", "", "write the report to this file instead of stdout")
 	locations := fs.Bool("locations", true, "include the per-location breakdown")
+	addr := fs.String("addr", "", "fetch the report from a goofi serve daemon instead of a database file")
+	campaign := fs.String("campaign", "", "TENANT/NAME of the service campaign to report on (with -addr)")
+	jsonOut := fs.Bool("json", false, "with -addr: print the raw JSON report")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *addr != "" {
+		return serviceReport(*addr, *campaign, *jsonOut, os.Stdout)
 	}
 	db, err := openDB(*dbPath)
 	if err != nil {
@@ -63,6 +71,33 @@ func cmdReport(args []string) error {
 		return err
 	}
 	logger.Info("report written", "path", *outPath, "format", *format, "campaigns", len(names))
+	return nil
+}
+
+// serviceReport fetches one campaign's analysis report from a goofi serve
+// daemon and renders it like goofi analyze does locally.
+func serviceReport(addr, campaign string, jsonOut bool, w io.Writer) error {
+	if campaign == "" {
+		return fmt.Errorf("report: -addr needs -campaign TENANT/NAME")
+	}
+	resp, err := http.Get(serviceURL(addr) + "/campaigns/" + campaign + "/report")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("report: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if jsonOut {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	}
+	var rep goofi.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("report: decode: %w", err)
+	}
+	fmt.Fprint(w, rep)
 	return nil
 }
 

@@ -20,7 +20,9 @@ import (
 
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
-	addr := fs.String("addr", "", "debug server address of a goofi run -debug-addr")
+	addr := fs.String("addr", "", "debug server address of a goofi run -debug-addr, or a goofi serve address with -campaign")
+	campaign := fs.String("campaign", "", "watch tenant/name on a goofi serve daemon instead of a -debug-addr stream")
+	retries := fs.Int("retries", 5, "consecutive reconnect attempts before giving up")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,34 +32,83 @@ func cmdWatch(args []string) error {
 	if *addr == "" {
 		return fmt.Errorf("watch: address required: goofi watch HOST:PORT")
 	}
-	url := *addr
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
+	path := "/campaign/events"
+	if *campaign != "" {
+		path = "/campaigns/" + *campaign + "/events"
 	}
-	resp, err := http.Get(url + "/campaign/events")
+	return watchReconnect(serviceURL(*addr)+path, *retries, os.Stdout)
+}
+
+// watchReconnect follows an event stream across connection failures: each
+// reconnect resubscribes to the broadcaster, which replays the latest frame
+// — so no terminal state can be missed — and already-rendered frames are
+// deduplicated by sequence number. Failures are retried with exponential
+// backoff up to maxRetries consecutive attempts; any successfully received
+// frame resets the budget.
+func watchReconnect(url string, maxRetries int, w io.Writer) error {
+	lastSeq := int64(-1)
+	attempts := 0
+	backoff := 200 * time.Millisecond
+	for {
+		last, seen, err := watchOnce(url, lastSeq, w)
+		if seen {
+			lastSeq = last.Seq
+			attempts = 0
+			backoff = 200 * time.Millisecond
+		}
+		if err == nil && last.Final {
+			return nil
+		}
+		attempts++
+		if attempts > maxRetries {
+			if err != nil {
+				return fmt.Errorf("watch: giving up after %d reconnects: %w", maxRetries, err)
+			}
+			return fmt.Errorf("watch: giving up after %d reconnects: stream keeps ending before the final frame", maxRetries)
+		}
+		logger.Warn("watch: stream interrupted; reconnecting",
+			"attempt", attempts, "backoff", backoff, "err", err)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// watchOnce opens the stream once and renders frames newer than lastSeq.
+func watchOnce(url string, lastSeq int64, w io.Writer) (goofi.CampaignEvent, bool, error) {
+	resp, err := http.Get(url)
 	if err != nil {
-		return fmt.Errorf("watch: %w", err)
+		return goofi.CampaignEvent{}, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
-		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return goofi.CampaignEvent{}, false,
+			fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
-	final, err := watchEvents(resp.Body, os.Stdout)
-	if err != nil {
-		return fmt.Errorf("watch: %w", err)
-	}
-	if !final.Final {
-		logger.Warn("event stream ended before the campaign's final frame",
-			"campaign", final.Campaign)
-	}
-	return nil
+	return watchEventsFrom(resp.Body, w, lastSeq)
 }
 
 // watchEvents renders the event stream as a single live-updating line,
 // returning the last event seen. Factored out of cmdWatch so tests can feed
 // it a recorded stream.
 func watchEvents(r io.Reader, w io.Writer) (goofi.CampaignEvent, error) {
+	last, seen, err := watchEventsFrom(r, w, -1)
+	if err != nil {
+		return last, err
+	}
+	if !seen {
+		return last, fmt.Errorf("no events received")
+	}
+	return last, nil
+}
+
+// watchEventsFrom renders frames with Seq greater than afterSeq — stale
+// frames (the broadcaster's replay of something already rendered before a
+// reconnect) are skipped silently. It reports whether any frame at all was
+// received, so the reconnect loop can tell a dead server from a quiet one.
+func watchEventsFrom(r io.Reader, w io.Writer, afterSeq int64) (goofi.CampaignEvent, bool, error) {
 	var last goofi.CampaignEvent
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -69,7 +120,10 @@ func watchEvents(r io.Reader, w io.Writer) (goofi.CampaignEvent, error) {
 		}
 		var ev goofi.CampaignEvent
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			return last, fmt.Errorf("malformed event: %w", err)
+			return last, seen, fmt.Errorf("malformed event: %w", err)
+		}
+		if ev.Seq <= afterSeq && !ev.Final {
+			continue
 		}
 		last, seen = ev, true
 		fmt.Fprintf(w, "\r%s", watchLine(ev))
@@ -80,15 +134,12 @@ func watchEvents(r io.Reader, w io.Writer) (goofi.CampaignEvent, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return last, err
+		return last, seen, err
 	}
-	if !seen {
-		return last, fmt.Errorf("no events received")
-	}
-	if !last.Final {
+	if seen && !last.Final {
 		fmt.Fprintln(w)
 	}
-	return last, nil
+	return last, seen, nil
 }
 
 // watchLine is the live view: progress bar, rate, ETA, coverage-so-far and

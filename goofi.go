@@ -48,6 +48,7 @@ import (
 	"goofi/internal/faultmodel"
 	"goofi/internal/obsv"
 	"goofi/internal/preinject"
+	"goofi/internal/service"
 	"goofi/internal/sqldb"
 	"goofi/internal/target"
 	"goofi/internal/thor"
@@ -584,3 +585,41 @@ func CrossCampaignReport(db *Database, campaigns []string, ops TargetOperations)
 // WilsonInterval computes the Wilson score interval for k successes out of n
 // trials at normal quantile z (1.96 for 95%).
 func WilsonInterval(k, n int, z float64) CoverageInterval { return analysis.Wilson(k, n, z) }
+
+// Campaign as a service: a multi-tenant daemon (`goofi serve`) that accepts
+// campaign submissions over a JSON/HTTP API, queues them behind a bounded
+// scheduler, executes each against its tenant's own WAL-backed database —
+// optionally split across in-process shards whose reassembled rows are
+// bit-identical to a single-process run — and survives SIGTERM by
+// checkpointing in-flight campaigns and persisting the queue for resume.
+type (
+	// CampaignService is the daemon; mount its Handler on an HTTP server
+	// and shut it down with Drain.
+	CampaignService = service.Server
+	// ServiceOptions configures a CampaignService.
+	ServiceOptions = service.Options
+	// CampaignSpec is one submission — the POST /campaigns body.
+	CampaignSpec = service.Spec
+	// CampaignStatus is a campaign's service status document.
+	CampaignStatus = service.Status
+)
+
+// NewCampaignService starts a campaign daemon over its data directory,
+// resuming any campaigns a previous drain persisted.
+func NewCampaignService(opts ServiceOptions) (*CampaignService, error) { return service.New(opts) }
+
+// Service submission failure sentinels; the HTTP layer maps them onto 429,
+// 503, 409 and 404.
+var (
+	ErrServiceQueueFull = service.ErrQueueFull
+	ErrServiceDraining  = service.ErrDraining
+	ErrServiceExists    = service.ErrExists
+	ErrServiceNotFound  = service.ErrNotFound
+)
+
+// WritePrometheusMulti renders several campaigns' metrics snapshots — keyed
+// by campaign id — as one Prometheus exposition with a campaign label per
+// series (the service's multiplexed /metrics endpoint).
+func WritePrometheusMulti(w io.Writer, snaps map[string]MetricsSnapshot) error {
+	return obsv.WritePrometheusMulti(w, snaps)
+}

@@ -154,6 +154,16 @@ type Runner struct {
 	// persisted interval metrics); zero means one second.
 	MonitorInterval time.Duration
 
+	// ShardIndex and ShardCount split one campaign across cooperating
+	// runners. With ShardCount > 1, every runner draws the complete seeded
+	// plan stream (so the PRNG stays bit-aligned with a single-process run)
+	// but executes only the experiments whose index i satisfies
+	// i % ShardCount == ShardIndex. Each shard still performs its own
+	// reference run — the reference is deterministic, so every shard derives
+	// the identical golden row and reassembly keeps exactly one. ShardCount
+	// <= 1 disables sharding. Incompatible with Campaign.Fork.
+	ShardIndex, ShardCount int
+
 	// Logger, when set, receives engine-level diagnostics (campaign start,
 	// quarantines, degraded worker pools) through log/slog. nil discards.
 	Logger *slog.Logger
@@ -198,6 +208,42 @@ func (r *Runner) Stop() {
 	defer r.mu.Unlock()
 	r.stopped = true
 	r.cond.Broadcast()
+}
+
+// owns reports whether this runner's shard executes experiment idx. With
+// sharding disabled every index is owned.
+func (r *Runner) owns(idx int) bool {
+	return r.ShardCount <= 1 || idx%r.ShardCount == r.ShardIndex
+}
+
+// ownedTotal is the number of experiments this shard executes — the progress
+// denominator, so a shard reports 100% when its own slice completes.
+func (r *Runner) ownedTotal() int {
+	n := r.campaign.NExperiments
+	if r.ShardCount <= 1 {
+		return n
+	}
+	t := n / r.ShardCount
+	if r.ShardIndex < n%r.ShardCount {
+		t++
+	}
+	return t
+}
+
+// validateShard rejects impossible shard configurations before any target
+// work happens.
+func (r *Runner) validateShard() error {
+	if r.ShardCount <= 1 {
+		return nil
+	}
+	if r.ShardIndex < 0 || r.ShardIndex >= r.ShardCount {
+		return fmt.Errorf("core: campaign %s: shard index %d out of range [0,%d)",
+			r.campaign.Name, r.ShardIndex, r.ShardCount)
+	}
+	if r.campaign.Fork {
+		return fmt.Errorf("core: campaign %s: sharded execution is incompatible with checkpoint forking", r.campaign.Name)
+	}
+	return nil
 }
 
 // checkpoint blocks while paused and reports whether the campaign must stop.
@@ -364,6 +410,10 @@ func (r *Runner) Run(ctx context.Context) (Summary, error) {
 		ssp.End()
 		return Summary{}, err
 	}
+	if err := r.validateShard(); err != nil {
+		ssp.End()
+		return Summary{}, err
+	}
 	tech, err := techniqueFor(c.Technique)
 	if err != nil {
 		ssp.End()
@@ -482,7 +532,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 		if err := r.logExperiment(c.Name+RefSuffix, "", out.exp); err != nil {
 			return sum, err
 		}
-		r.report(r.progress(&sum, 0, c.NExperiments, "reference "+out.exp.Term.Reason.String()))
+		r.report(r.progress(&sum, 0, r.ownedTotal(), "reference "+out.exp.Term.Reason.String()))
 	}
 
 	if c.Workers > 1 {
@@ -490,12 +540,13 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 	}
 
 	ops := r.ops
+	total := r.ownedTotal()
 	rng := rand.New(rand.NewSource(c.Seed))
 	for i := 0; i < c.NExperiments; i++ {
 		if err := r.checkpoint(); err != nil {
 			// Final tick on Stop/ctx-cancel: the progress consumer must see
 			// the true completed count, not the last pre-stop snapshot.
-			r.report(r.progress(&sum, sum.Completed+sum.Skipped, c.NExperiments, "stopped"))
+			r.report(r.progress(&sum, sum.Completed+sum.Skipped, total, "stopped"))
 			return sum, err
 		}
 		planFn := c.Model.Plan
@@ -503,13 +554,17 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			planFn = r.PlanFunc
 		}
 		// The plan is drawn even for experiments that are skipped on
-		// resume, keeping the PRNG stream aligned so a resumed campaign is
-		// bit-identical to an uninterrupted one.
+		// resume — and for indices owned by other shards — keeping the PRNG
+		// stream aligned so a resumed or sharded campaign is bit-identical
+		// to an uninterrupted single-process one.
 		psp := r.Recorder.Begin(obsv.PhasePlan, 0)
 		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
 		psp.End()
 		if err != nil {
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		}
+		if !r.owns(i) {
+			continue
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
@@ -531,7 +586,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			return sum, err
 		}
 		label := r.accountOutcome(&sum, out)
-		r.report(r.progress(&sum, i+1, c.NExperiments, label))
+		r.report(r.progress(&sum, sum.Completed+sum.Skipped, total, label))
 		if out.hung {
 			// The hung attempt's goroutine may still be running on ops:
 			// quarantine the instance and continue on a replacement.
@@ -690,15 +745,20 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		planFn = r.PlanFunc
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
+	total := r.ownedTotal()
 	psp := r.Recorder.Begin(obsv.PhasePlan, 0)
 	jobs := make([]parallelJob, 0, c.NExperiments)
 	for i := 0; i < c.NExperiments; i++ {
-		// Drawn even for experiments skipped on resume, exactly like the
-		// sequential loop: the stream stays aligned.
+		// Drawn even for experiments skipped on resume (and for indices
+		// owned by other shards), exactly like the sequential loop: the
+		// stream stays aligned.
 		plan, err := planFn(rng, locs, c.InjectMinTime, c.InjectMaxTime, c.Workload.MaxCycles)
 		if err != nil {
 			psp.End()
 			return sum, fmt.Errorf("core: experiment %d: %w", i, err)
+		}
+		if !r.owns(i) {
+			continue
 		}
 		name := fmt.Sprintf("%s/e%04d", c.Name, i)
 		if logged[name] {
@@ -871,7 +931,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		pending = append(pending, r.outcomeRow(res.name, "", res.out))
 		done++
 		label := r.accountOutcome(&sum, res.out)
-		r.report(r.progress(&sum, done, c.NExperiments, label))
+		r.report(r.progress(&sum, done, total, label))
 		if !condStop && r.StopCondition != nil && r.StopCondition(sum) {
 			condStop = true
 			halt()
@@ -906,7 +966,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 		// Final tick: after an interrupted campaign the progress consumer
 		// must be left with the true completed count, not the last
 		// completion-order snapshot.
-		r.report(r.progress(&sum, done, c.NExperiments, "stopped"))
+		r.report(r.progress(&sum, done, total, "stopped"))
 		if workersLost == workers {
 			return sum, fmt.Errorf("core: campaign %s: all %d workers lost their targets (%d quarantined); %d experiments not run",
 				c.Name, workers, sum.Quarantined, len(jobs)-received)

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"goofi/internal/dbase"
+	"goofi/internal/target"
+)
+
+// mergeShards reassembles per-shard stores into one sorted row slice: every
+// shard contributes its owned experiments, and the reference row — which every
+// shard derives independently — is kept once after checking the copies agree.
+func mergeShards(t *testing.T, stores []*dbase.Store, campaign string) []dbase.ExperimentRow {
+	t.Helper()
+	byName := map[string]dbase.ExperimentRow{}
+	for si, s := range stores {
+		for _, row := range campaignRows(t, s, campaign) {
+			if prev, ok := byName[row.ExperimentName]; ok {
+				if !reflect.DeepEqual(prev, row) {
+					t.Fatalf("shard %d disagrees on %s:\n%+v\nvs\n%+v", si, row.ExperimentName, prev, row)
+				}
+				continue
+			}
+			byName[row.ExperimentName] = row
+		}
+	}
+	merged := make([]dbase.ExperimentRow, 0, len(byName))
+	for _, row := range byName {
+		merged = append(merged, row)
+	}
+	// Experiments() returns name order; reproduce it for the merged set.
+	for i := 0; i < len(merged); i++ {
+		for j := i + 1; j < len(merged); j++ {
+			if merged[j].ExperimentName < merged[i].ExperimentName {
+				merged[i], merged[j] = merged[j], merged[i]
+			}
+		}
+	}
+	return merged
+}
+
+// TestShardedCampaignMatchesUnsharded is the sharding determinism contract:
+// three shard runners, each drawing the full seeded plan stream but executing
+// only its own indices, must reassemble into exactly the row set of a
+// single-process run.
+func TestShardedCampaignMatchesUnsharded(t *testing.T) {
+	c := scifiCampaign("shard-det", 13)
+
+	opsOne, storeOne := newEnv(t)
+	if _, err := NewRunner(opsOne, storeOne, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := campaignRows(t, storeOne, c.Name)
+
+	const shards = 3
+	stores := make([]*dbase.Store, shards)
+	totalCompleted := 0
+	for si := 0; si < shards; si++ {
+		ops, store := newEnv(t)
+		stores[si] = store
+		r := NewRunner(ops, store, c)
+		r.ShardIndex, r.ShardCount = si, shards
+		sum, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+		wantN := r.ownedTotal()
+		if sum.Completed != wantN {
+			t.Fatalf("shard %d completed %d, want %d", si, sum.Completed, wantN)
+		}
+		totalCompleted += sum.Completed
+	}
+	if totalCompleted != c.NExperiments {
+		t.Fatalf("shards completed %d experiments, want %d", totalCompleted, c.NExperiments)
+	}
+
+	got := mergeShards(t, stores, c.Name)
+	if len(got) != len(want) {
+		t.Fatalf("merged rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("row %d differs:\nunsharded: %+v\nsharded:   %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestShardedParallelWorkers stacks the two execution axes: each shard runs
+// its slice through the worker pool, and the reassembly must still be
+// bit-identical to the sequential single-process run.
+func TestShardedParallelWorkers(t *testing.T) {
+	c := scifiCampaign("shard-par", 10)
+
+	opsOne, storeOne := newEnv(t)
+	if _, err := NewRunner(opsOne, storeOne, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := campaignRows(t, storeOne, c.Name)
+
+	const shards = 2
+	stores := make([]*dbase.Store, shards)
+	for si := 0; si < shards; si++ {
+		cs := c
+		cs.Workers = 3
+		ops, store := newEnv(t)
+		stores[si] = store
+		r := NewRunner(ops, store, cs)
+		r.Factory = target.DefaultThorFactory()
+		r.ShardIndex, r.ShardCount = si, shards
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+	}
+
+	got := mergeShards(t, stores, c.Name)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded parallel rows diverge from sequential run")
+	}
+}
+
+// TestShardedResume interrupts one shard and re-runs it: the resumed shard
+// must skip its logged rows and the final reassembly must match the
+// uninterrupted run.
+func TestShardedResume(t *testing.T) {
+	c := scifiCampaign("shard-res", 9)
+
+	opsOne, storeOne := newEnv(t)
+	if _, err := NewRunner(opsOne, storeOne, c).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := campaignRows(t, storeOne, c.Name)
+
+	const shards = 3
+	stores := make([]*dbase.Store, shards)
+	for si := 0; si < shards; si++ {
+		ops, store := newEnv(t)
+		stores[si] = store
+		r := NewRunner(ops, store, c)
+		r.ShardIndex, r.ShardCount = si, shards
+		if si == 1 {
+			// Stop shard 1 after its first experiment, then resume it.
+			n := 0
+			r.StopCondition = func(Summary) bool { n++; return n >= 1 }
+			if _, err := r.Run(context.Background()); err != nil {
+				t.Fatalf("shard %d first leg: %v", si, err)
+			}
+			r2 := NewRunner(target.NewDefaultThorTarget(), store, c)
+			r2.ShardIndex, r2.ShardCount = si, shards
+			sum, err := r2.Run(context.Background())
+			if err != nil {
+				t.Fatalf("shard %d resume: %v", si, err)
+			}
+			if sum.Skipped == 0 {
+				t.Fatalf("resumed shard skipped nothing")
+			}
+			continue
+		}
+		if _, err := r.Run(context.Background()); err != nil {
+			t.Fatalf("shard %d: %v", si, err)
+		}
+	}
+
+	got := mergeShards(t, stores, c.Name)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed sharded rows diverge from uninterrupted run")
+	}
+}
+
+// TestShardValidation rejects impossible shard configurations.
+func TestShardValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(*Runner, *Campaign)
+		substr string
+	}{
+		{"index out of range", func(r *Runner, c *Campaign) { r.ShardIndex, r.ShardCount = 3, 3 }, "out of range"},
+		{"negative index", func(r *Runner, c *Campaign) { r.ShardIndex, r.ShardCount = -1, 2 }, "out of range"},
+		{"fork incompatible", func(r *Runner, c *Campaign) { c.Fork = true; r.ShardIndex, r.ShardCount = 0, 2 }, "checkpoint forking"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ops, store := newEnv(t)
+			c := scifiCampaign("shard-bad", 4)
+			r := NewRunner(ops, store, c)
+			tc.mut(r, &c)
+			r.campaign = c
+			_, err := r.Run(context.Background())
+			if err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.substr)
+			}
+		})
+	}
+}

@@ -24,44 +24,183 @@ import (
 // Durations are converted from nanoseconds to Prometheus base seconds.
 // Output is deterministic: families and label values appear in sorted order.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return writePrometheus(w, []labeledSnapshot{{snap: s}})
+}
+
+// WritePrometheusMulti renders several snapshots — keyed by campaign id — as
+// one exposition. The text format requires each metric family to appear
+// exactly once, so the writer unions the instrument names across snapshots,
+// emits each family header once, and distinguishes the per-campaign series
+// with a campaign label. The campaign service multiplexes every running
+// campaign's recorder onto its single /metrics endpoint through this.
+func WritePrometheusMulti(w io.Writer, snaps map[string]Snapshot) error {
+	keys := make([]string, 0, len(snaps))
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := make([]labeledSnapshot, 0, len(keys))
+	for _, k := range keys {
+		ls = append(ls, labeledSnapshot{
+			labels: `campaign="` + promLabelValue(k) + `"`,
+			snap:   snaps[k],
+		})
+	}
+	return writePrometheus(w, ls)
+}
+
+// labeledSnapshot pairs one snapshot with the raw label body (`k="v",...` or
+// empty) attached to every series it contributes.
+type labeledSnapshot struct {
+	labels string
+	snap   Snapshot
+}
+
+// writePrometheus is the shared exposition core: every family appears once,
+// holding one series (or bucket set) per labeled snapshot that carries the
+// instrument.
+func writePrometheus(w io.Writer, ls []labeledSnapshot) error {
 	pw := &promWriter{w: w}
 
-	if s.WallClockNs > 0 {
-		pw.family("goofi_campaign_wall_clock_seconds", "gauge",
-			"Total campaign wall-clock time so far.")
-		pw.sample("goofi_campaign_wall_clock_seconds", "", promSeconds(s.WallClockNs))
-	}
-
-	for _, name := range sortedNames(s.Counters) {
-		fam := "goofi_" + promName(name) + "_total"
-		pw.family(fam, "counter", "Counter "+name+".")
-		pw.sample(fam, "", float64(s.Counters[name]))
-	}
-	for _, name := range sortedNames(s.Gauges) {
-		fam := "goofi_" + promName(name)
-		pw.family(fam, "gauge", "Gauge "+name+".")
-		pw.sample(fam, "", float64(s.Gauges[name]))
-	}
-	if s.TraceDropped > 0 {
-		pw.family("goofi_trace_events_dropped_total", "counter",
-			"Trace events discarded beyond the buffer cap.")
-		pw.sample("goofi_trace_events_dropped_total", "", float64(s.TraceDropped))
-	}
-
-	if len(s.Phases) > 0 {
-		pw.family("goofi_phase_duration_seconds", "histogram",
-			"Leaf-phase durations partitioning the campaign wall-clock.")
-		for _, p := range s.Phases {
-			pw.histogram("goofi_phase_duration_seconds",
-				`phase="`+p.Phase+`"`, p.HistogramStats)
+	anyWall := false
+	for _, l := range ls {
+		if l.snap.WallClockNs > 0 {
+			anyWall = true
+			break
 		}
 	}
-	for _, h := range s.Histograms {
-		fam := "goofi_" + promName(h.Name) + "_seconds"
-		pw.family(fam, "histogram", "Latency histogram "+h.Name+".")
-		pw.histogram(fam, "", h)
+	if anyWall {
+		pw.family("goofi_campaign_wall_clock_seconds", "gauge",
+			"Total campaign wall-clock time so far.")
+		for _, l := range ls {
+			if l.snap.WallClockNs > 0 {
+				pw.sample("goofi_campaign_wall_clock_seconds", l.labels, promSeconds(l.snap.WallClockNs))
+			}
+		}
+	}
+
+	for _, name := range unionNames(ls, func(s Snapshot) map[string]int64 { return s.Counters }) {
+		fam := "goofi_" + promName(name) + "_total"
+		pw.family(fam, "counter", "Counter "+name+".")
+		for _, l := range ls {
+			if v, ok := l.snap.Counters[name]; ok {
+				pw.sample(fam, l.labels, float64(v))
+			}
+		}
+	}
+	for _, name := range unionNames(ls, func(s Snapshot) map[string]int64 { return s.Gauges }) {
+		fam := "goofi_" + promName(name)
+		pw.family(fam, "gauge", "Gauge "+name+".")
+		for _, l := range ls {
+			if v, ok := l.snap.Gauges[name]; ok {
+				pw.sample(fam, l.labels, float64(v))
+			}
+		}
+	}
+	anyDropped := false
+	for _, l := range ls {
+		if l.snap.TraceDropped > 0 {
+			anyDropped = true
+			break
+		}
+	}
+	if anyDropped {
+		pw.family("goofi_trace_events_dropped_total", "counter",
+			"Trace events discarded beyond the buffer cap.")
+		for _, l := range ls {
+			if l.snap.TraceDropped > 0 {
+				pw.sample("goofi_trace_events_dropped_total", l.labels, float64(l.snap.TraceDropped))
+			}
+		}
+	}
+
+	anyPhases := false
+	for _, l := range ls {
+		if len(l.snap.Phases) > 0 {
+			anyPhases = true
+			break
+		}
+	}
+	if anyPhases {
+		pw.family("goofi_phase_duration_seconds", "histogram",
+			"Leaf-phase durations partitioning the campaign wall-clock.")
+		for _, l := range ls {
+			for _, p := range l.snap.Phases {
+				pw.histogram("goofi_phase_duration_seconds",
+					joinLabels(l.labels, `phase="`+p.Phase+`"`), p.HistogramStats)
+			}
+		}
+	}
+	histNames := []string{}
+	seen := map[string]bool{}
+	for _, l := range ls {
+		for _, h := range l.snap.Histograms {
+			if !seen[h.Name] {
+				seen[h.Name] = true
+				histNames = append(histNames, h.Name)
+			}
+		}
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		fam := "goofi_" + promName(name) + "_seconds"
+		pw.family(fam, "histogram", "Latency histogram "+name+".")
+		for _, l := range ls {
+			for _, h := range l.snap.Histograms {
+				if h.Name == name {
+					pw.histogram(fam, l.labels, h)
+				}
+			}
+		}
 	}
 	return pw.err
+}
+
+// unionNames collects the sorted union of one instrument map's keys across
+// all labeled snapshots.
+func unionNames(ls []labeledSnapshot, get func(Snapshot) map[string]int64) []string {
+	seen := map[string]bool{}
+	out := []string{}
+	for _, l := range ls {
+		for n := range get(l.snap) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// joinLabels concatenates two raw label bodies, either of which may be empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+// promLabelValue escapes a string for use inside a label value's quotes per
+// the exposition format: backslash, double quote and newline.
+func promLabelValue(v string) string {
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }
 
 // promWriter accumulates exposition lines, keeping the first write error.

@@ -211,6 +211,69 @@ func TestWritePrometheusStructure(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusMulti checks the multiplexed exposition the campaign
+// service serves: every family header appears exactly once even when several
+// campaigns carry the same instrument, each series is distinguished by a
+// campaign label, and instruments unique to one campaign still surface.
+func TestWritePrometheusMulti(t *testing.T) {
+	a := promSnapshot()
+	b := promSnapshot()
+	b.WallClockNs = 5_000_000_000
+	b.Counters = map[string]int64{"experiments.completed": 3, "experiments.hangs": 1}
+	b.Histograms = nil
+	b.Phases = nil
+	b.TraceDropped = 0
+
+	var buf bytes.Buffer
+	if err := WritePrometheusMulti(&buf, map[string]Snapshot{
+		"t1/alpha": a,
+		"t2/beta":  b,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		`goofi_campaign_wall_clock_seconds{campaign="t1/alpha"} 2.5`,
+		`goofi_campaign_wall_clock_seconds{campaign="t2/beta"} 5`,
+		`goofi_experiments_completed_total{campaign="t1/alpha"} 8`,
+		`goofi_experiments_completed_total{campaign="t2/beta"} 3`,
+		`goofi_experiments_hangs_total{campaign="t2/beta"} 1`,
+		`goofi_store_calls_total{campaign="t1/alpha"} 31`,
+		`goofi_phase_duration_seconds_bucket{campaign="t1/alpha",phase="workload",le="+Inf"} 3`,
+		`goofi_store_PutExperiment_seconds_count{campaign="t1/alpha"} 5`,
+		`goofi_trace_events_dropped_total{campaign="t1/alpha"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families must be declared once: duplicate TYPE lines are invalid.
+	for _, fam := range []string{
+		"goofi_experiments_completed_total",
+		"goofi_campaign_wall_clock_seconds",
+		"goofi_phase_duration_seconds",
+	} {
+		if n := strings.Count(out, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s declared %d times, want once", fam, n)
+		}
+	}
+	// The hangs counter exists only in t2/beta; no t1/alpha series for it.
+	if strings.Contains(out, `goofi_experiments_hangs_total{campaign="t1/alpha"}`) {
+		t.Error("campaign without an instrument produced a series for it")
+	}
+	// Label values are escaped.
+	var esc bytes.Buffer
+	if err := WritePrometheusMulti(&esc, map[string]Snapshot{
+		`q"x\y`: {Counters: map[string]int64{"c": 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(esc.String(), `campaign="q\"x\\y"`) {
+		t.Errorf("label value not escaped:\n%s", esc.String())
+	}
+}
+
 func TestWritePrometheusEmptySnapshot(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, Snapshot{}); err != nil {

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"goofi/internal/analysis"
+	"goofi/internal/dbase"
+	"goofi/internal/obsv"
+)
+
+// Handler builds the service's HTTP API:
+//
+//	POST   /campaigns                           submit (202, 400, 409, 429, 503)
+//	GET    /campaigns                           list all campaigns
+//	GET    /campaigns/{tenant}/{name}           status document
+//	DELETE /campaigns/{tenant}/{name}           cancel / forget
+//	GET    /campaigns/{tenant}/{name}/events    live NDJSON CampaignEvent stream
+//	GET    /campaigns/{tenant}/{name}/report    analysis report (done campaigns)
+//	GET    /metrics                             multiplexed Prometheus exposition
+//	GET    /healthz                             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{tenant}/{name}", s.handleStatus)
+	mux.HandleFunc("DELETE /campaigns/{tenant}/{name}", s.handleCancel)
+	mux.HandleFunc("GET /campaigns/{tenant}/{name}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{tenant}/{name}/report", s.handleReport)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// ServeHTTP makes the server itself mountable as an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.Handler().ServeHTTP(w, req)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders one error as a JSON problem document, mapping the
+// service sentinels onto their status codes.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(max(s.opts.RetryAfter.Seconds(), 1))))
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func reqID(req *http.Request) string {
+	return req.PathValue("tenant") + "/" + req.PathValue("name")
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	st, err := s.Status(reqID(req))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	st, err := s.Cancel(reqID(req))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the campaign's CampaignEvent frames as NDJSON until
+// the campaign finishes or the client goes away. A subscriber joining late
+// immediately receives the latest frame (the final one, for a finished
+// campaign) — the replay contract goofi watch's reconnect relies on.
+func (s *Server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	b, err := s.Events(reqID(req))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ch, cancel := b.Subscribe(16)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// handleReport classifies a finished campaign and returns the analysis
+// report. The tenant store was closed when the campaign finished, so the
+// report reopens it read-only (replaying any WAL sidecar) and discards the
+// classification rows instead of saving them — the endpoint is idempotent.
+func (s *Server) handleReport(w http.ResponseWriter, req *http.Request) {
+	id := reqID(req)
+	st, err := s.Status(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if st.Status != StatusDone {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("campaign %s is %s, not %s", id, st.Status, StatusDone),
+		})
+		return
+	}
+	rep, err := s.report(st)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// report runs the analysis against a freshly opened copy of the campaign's
+// store. The store is only touched from this request's goroutine.
+func (s *Server) report(st Status) (analysis.Report, error) {
+	s.mu.Lock()
+	j := s.jobs[st.ID]
+	var spec Spec
+	if j != nil {
+		spec = j.spec
+	}
+	s.mu.Unlock()
+	if j == nil {
+		return analysis.Report{}, fmt.Errorf("%w: %s", ErrNotFound, st.ID)
+	}
+	store, err := dbase.OpenStoreFS(s.tenantDBPath(spec), s.fsys)
+	if err != nil {
+		return analysis.Report{}, fmt.Errorf("service: reopen store for %s: %w", st.ID, err)
+	}
+	defer store.Close()
+	return analysis.Classify(store, spec.Campaign)
+}
+
+// handleMetrics multiplexes every campaign's recorder snapshot onto one
+// Prometheus exposition, distinguished by the campaign label.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obsv.WritePrometheusMulti(w, s.Snapshots()); err != nil {
+		s.log.Warn("prometheus exposition failed", "err", err)
+	}
+}
