@@ -14,7 +14,7 @@ BENCHCOUNT ?= 6
 OLD ?= BENCH_old.json
 NEW ?= BENCH_campaign.json
 
-.PHONY: all build vet test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke storagesmoke servesmoke ci
+.PHONY: all build vet fmt test race bench benchdiff benchsmoke cover fuzzsmoke crashsmoke storagesmoke servesmoke ci
 
 all: ci
 
@@ -23,6 +23,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness gate: `gofmt -l` prints the names of misformatted files
+# and exits 0 regardless, so fail explicitly when the list is non-empty.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -34,11 +39,12 @@ test:
 # in internal/envsim, the concurrent recorder/broadcaster in
 # internal/obsv, the WAL group-commit machinery in internal/sqldb, and the
 # fault-injecting filesystem (shared op counter + durability maps) in
-# internal/vfs, and the multi-tenant campaign service (queue scheduler,
-# shard aggregator, drain) in internal/service; run all nine under the
-# race detector on every change.
+# internal/vfs, the multi-tenant campaign service (queue scheduler,
+# shard aggregator, drain) in internal/service, and the store layer that
+# drains provenance journals while runners emit into them in
+# internal/dbase; run all ten under the race detector on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/... ./internal/vfs/... ./internal/service/...
+	$(GO) test -race ./internal/core/... ./internal/scan/... ./internal/target/... ./internal/thor/... ./internal/envsim/... ./internal/obsv/... ./internal/sqldb/... ./internal/vfs/... ./internal/service/... ./internal/dbase/...
 
 # Benchstat-friendly benchmark run: every benchmark, with allocation
 # stats, repeated BENCHCOUNT times. The raw text lands in
@@ -119,5 +125,5 @@ servesmoke:
 # (75%): the smoke run is short and lands on whatever machine CI uses,
 # so only order-of-magnitude regressions — a forked campaign falling
 # back to the plain path, a capture turning quadratic — should trip it.
-ci: vet build test race benchsmoke fuzzsmoke crashsmoke storagesmoke servesmoke
+ci: fmt vet build test race benchsmoke fuzzsmoke crashsmoke storagesmoke servesmoke
 	$(GO) run ./cmd/goofi-bench -diff BENCH_campaign.json -tolerance 75 -metrics ns BENCH_smoke.json

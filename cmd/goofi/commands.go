@@ -176,6 +176,7 @@ func cmdRun(args []string) error {
 	cpMem := fs.Int64("checkpoint-mem", 0, "checkpoint memory budget for -fork, in MiB (0 = 64)")
 	chaos := fs.String("chaos", "", `wrap the target in a chaos fault injector, e.g. "err=0.02,panic=0.005,hang=0.01,seed=3"`)
 	storageChaos := fs.String("storage-chaos", "", `inject seeded storage faults under the campaign database, e.g. "write=0.01,sync=0.01,torn=0.005,seed=7"`)
+	provenance := fs.Bool("provenance", false, "record causal wide events (plan/attempt/inject/retry/WAL/storage) and persist them for `goofi trace CAMPAIGN`")
 	metricsOut := fs.String("metrics-out", "", "write a metrics snapshot (JSON) to this file after the run")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace_event file to this file after the run")
 	debugAddr := fs.String("debug-addr", "", `serve expvar + pprof + /metrics + /campaign/events on this address during the run, e.g. ":6060"`)
@@ -278,8 +279,8 @@ func cmdRun(args []string) error {
 	// phase times include the chaos delays the engine actually experienced.
 	var rec *goofi.Recorder
 	var events *goofi.Broadcaster
-	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" {
-		rec = goofi.NewRecorder(goofi.RecorderOptions{Trace: *traceOut != ""})
+	if *metricsOut != "" || *traceOut != "" || *debugAddr != "" || *provenance {
+		rec = goofi.NewRecorder(goofi.RecorderOptions{Trace: *traceOut != "", Journal: *provenance})
 		db.SetRecorder(rec)
 		if storageFS != nil {
 			storageFS.SetRecorder(rec)
@@ -328,6 +329,7 @@ func cmdRun(args []string) error {
 		if oerr := writeObsv(rec, *metricsOut, *traceOut); oerr != nil {
 			logger.Error("observability output failed", "err", oerr)
 		}
+		drainJournal(db, c.Name, rec)
 		if saveErr := db.Save(); saveErr != nil {
 			return saveErr
 		}
@@ -353,6 +355,7 @@ func cmdRun(args []string) error {
 	if err := writeObsv(rec, *metricsOut, *traceOut); err != nil {
 		return err
 	}
+	drainJournal(db, c.Name, rec)
 	if err := db.Save(); err != nil {
 		return err
 	}
@@ -370,6 +373,23 @@ func cmdRun(args []string) error {
 			"torn-writes", st.TornWrites, "sync-lies", st.SyncLies, "crashes", st.Crashes)
 	}
 	return nil
+}
+
+// drainJournal persists a provenance journal, if one was recorded, into the
+// campaign's trace table. Best-effort: a failed drain is logged, not
+// returned, so it cannot mask the run's own outcome.
+func drainJournal(db *goofi.Database, campaign string, rec *goofi.Recorder) {
+	j := rec.Journal()
+	if j == nil || j.Len() == 0 {
+		return
+	}
+	runID, err := db.PutTraceJournal(campaign, j)
+	if err != nil {
+		logger.Error("provenance journal persist failed", "err", err)
+		return
+	}
+	logger.Info("provenance journal persisted",
+		"campaign", campaign, "run", runID, "events", j.Len(), "dropped", j.Dropped())
 }
 
 func bar(done, total, width int) string {
@@ -423,17 +443,26 @@ func cmdAnalyze(args []string) error {
 	return db.Save()
 }
 
-// cmdTrace reruns an experiment in detail mode and prints the
-// error-propagation report against a detail-mode reference run (§3.3 and the
-// parentExperiment scenario of §2.3).
+// cmdTrace has two modes. With positional arguments — `goofi trace
+// CAMPAIGN [EXPERIMENT]` — it renders the provenance timeline recorded by a
+// `-provenance` run: the campaign rollup, or one experiment's causal chain
+// from plan draw through injections, chaos faults, retries and the WAL
+// commit batch that made its row durable. With the -campaign/-experiment
+// flags it keeps its original behaviour: rerun an experiment in detail mode
+// and print the error-propagation report against a detail-mode reference run
+// (§3.3 and the parentExperiment scenario of §2.3).
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	dbPath := fs.String("db", "", "campaign database file")
 	name := fs.String("campaign", "", "campaign name")
 	expName := fs.String("experiment", "", "experiment to rerun in detail mode")
 	limit := fs.Int("limit", 20, "trace lines to print")
+	chromeOut := fs.String("chrome", "", "also export the provenance events as a Chrome trace_event file (timeline mode only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		return traceTimeline(*dbPath, fs.Arg(0), fs.Arg(1), *chromeOut)
 	}
 	db, err := openDB(*dbPath)
 	if err != nil {
@@ -472,6 +501,48 @@ func cmdTrace(args []string) error {
 		fmt.Printf("  %6d  %#06x  %s\n", s.Cycle, s.PC, s.Disasm)
 	}
 	return db.Save()
+}
+
+// traceTimeline renders the provenance events a `-provenance` run persisted:
+// the per-experiment rollup, or — given an experiment — its causal chain.
+// A bare experiment argument ("e0004") is resolved under the campaign.
+func traceTimeline(dbPath, campaign, experiment, chromeOut string) error {
+	db, err := openDB(dbPath)
+	if err != nil {
+		return err
+	}
+	events, err := db.TraceEvents(campaign)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace: no provenance events for campaign %q (run it with -provenance)", campaign)
+	}
+	// Sub-experiment events (WAL commits, storage faults) carry no
+	// experiment name in the journal; attribute them by attempt window now.
+	events = goofi.AttributeTraceEvents(events)
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		err = goofi.WriteChromeTraceEvents(f, events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		logger.Info("chrome trace written", "file", chromeOut, "events", len(events))
+	}
+	if experiment != "" {
+		if !strings.Contains(experiment, "/") {
+			experiment = campaign + "/" + experiment
+		}
+		return goofi.FormatTraceTimeline(os.Stdout, events, experiment)
+	}
+	goofi.FormatTraceSummary(os.Stdout, events)
+	return nil
 }
 
 // detailOf returns the detail-mode state vector of an experiment, rerunning

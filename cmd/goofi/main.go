@@ -87,18 +87,19 @@ Usage:
   goofi setup     -db FILE -campaign NAME -merge A,B[,C...]
   goofi run       -db FILE -campaign NAME [-quiet] [-workers W]
                   [-retries N] [-retry-backoff D] [-timeout D] [-chaos SPEC]
-                  [-wal] [-wal-sync SPEC] [-wal-checkpoint MB]
+                  [-wal] [-wal-sync SPEC] [-wal-checkpoint MB] [-provenance]
                   [-metrics-out FILE] [-trace-out FILE] [-debug-addr ADDR]
   goofi stats     -metrics FILE | -diff OLD.json NEW.json
   goofi watch     [-campaign TENANT/NAME] [-retries N] HOST:PORT
   goofi serve     [-addr :8080] [-data DIR] [-queue N] [-concurrency N]
                   [-wal-sync SPEC] [-drain-timeout D]
-  goofi submit    -addr HOST:PORT (-spec FILE | -tenant T -campaign NAME
-                  -workload W -locations FILTER -n N [-seed S]
+  goofi submit    -addr HOST:PORT [-retries N] (-spec FILE | -tenant T
+                  -campaign NAME -workload W -locations FILTER -n N [-seed S]
                   [-workers W] [-shards K] [-chaos SPEC])
   goofi report    -db FILE [-campaigns A,B,...] [-format text|csv|html]
                   [-o FILE] [-locations=false]
   goofi analyze   -db FILE -campaign NAME [-gen-sql]
+  goofi trace     -db FILE CAMPAIGN [EXPERIMENT] [-chrome FILE]
   goofi trace     -db FILE -campaign NAME -experiment NAME
   goofi show      -db FILE -experiment NAME
   goofi list      -db FILE
@@ -133,5 +134,14 @@ Observability: -metrics-out dumps per-phase timings and store latency
              engine metrics into the CampaignRunMetrics table, which
              goofi report joins with the analysis results for cross-campaign
              comparisons. Diagnostics go to stderr via -log-level/-log-json.
+Provenance:  goofi run -provenance journals causal wide events — plan draws,
+             per-attempt outcomes, injections, chaos faults, retry backoffs,
+             hangs/quarantines, checkpoint restores, storage faults, row
+             durability and WAL commit batches — and persists them in the
+             campaign database. Render with goofi trace CAMPAIGN (rollup),
+             goofi trace CAMPAIGN EXPERIMENT (one causal chain), or
+             -chrome FILE (Chrome trace_event export). goofi serve records
+             the same journal per campaign and streams it as NDJSON at
+             GET /campaigns/TENANT/NAME/trace.
 `)
 }

@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -104,6 +106,7 @@ func cmdSubmit(args []string) error {
 	workers := fs.Int("workers", 0, "in-shard worker count")
 	shards := fs.Int("shards", 0, "split across this many in-process shards")
 	chaos := fs.String("chaos", "", "chaos spec wrapping every target")
+	retries := fs.Int("retries", 4, "retry a 429 (queue full) response this many times, honouring Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,17 +130,54 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(serviceURL(*addr)+"/campaigns", "application/json", strings.NewReader(string(body)))
+	out, err := postCampaign(serviceURL(*addr)+"/campaigns", body, *retries)
 	if err != nil {
-		return fmt.Errorf("submit: %w", err)
-	}
-	defer resp.Body.Close()
-	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(out)))
+		return err
 	}
 	fmt.Print(string(out))
 	return nil
+}
+
+// postCampaign submits a campaign spec, retrying a bounded number of times
+// when the service sheds load with 429. The wait honours the Retry-After
+// header when present and otherwise backs off exponentially from a second;
+// jitter desynchronises scripted submitters that all hit a full queue at
+// once. Any other non-202 status fails immediately.
+func postCampaign(url string, body []byte, retries int) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, fmt.Errorf("submit: %w", err)
+		}
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			return out, nil
+		case resp.StatusCode != http.StatusTooManyRequests || attempt >= retries:
+			return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(out)))
+		}
+		wait := retryAfter(resp.Header.Get("Retry-After"), attempt)
+		logger.Warn("queue full; retrying", "attempt", attempt+1, "of", retries, "wait", wait)
+		time.Sleep(wait)
+	}
+}
+
+// retryAfter turns a Retry-After header (delay-seconds form) into a wait,
+// falling back to exponential backoff from 1s, capped at 30s, with up to 25%
+// random jitter on top.
+func retryAfter(header string, attempt int) time.Duration {
+	base := time.Second << min(attempt, 5)
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		base = time.Duration(secs) * time.Second
+		if base == 0 {
+			base = time.Second
+		}
+	}
+	if base > 30*time.Second {
+		base = 30 * time.Second
+	}
+	return base + time.Duration(rand.Int64N(int64(base)/4+1))
 }
 
 // serviceURL normalises a host:port into a base URL.

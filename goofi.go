@@ -39,6 +39,7 @@ package goofi
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 
 	"goofi/internal/analysis"
@@ -541,6 +542,56 @@ type MetricsDiff = obsv.SnapshotDiff
 
 // DiffMetrics compares snapshot a (the "before") with b (the "after").
 func DiffMetrics(a, b MetricsSnapshot) MetricsDiff { return obsv.DiffSnapshots(a, b) }
+
+// Provenance tracing: a recorder built with RecorderOptions{Journal: true}
+// collects causal wide events — campaign run → shard → experiment → attempt —
+// from every engine layer (plan draws, fault injections, retries, hangs,
+// chaos faults, checkpoint restores, WAL commit batches, storage faults,
+// service HTTP requests) into a bounded in-memory ring. Drain the ring into
+// the campaign database with Database.PutTraceJournal; read it back causally
+// ordered with Database.TraceEvents. `goofi trace CAMPAIGN [EXPERIMENT]` and
+// the service's /trace endpoint render the result.
+type (
+	// WideEvent is one provenance event. Sub-experiment events (WAL commits,
+	// storage faults) carry no experiment name; AttributeTraceEvents assigns
+	// them to the attempt in flight at render time.
+	WideEvent = obsv.WideEvent
+	// TraceJournal is the bounded drop-counting ring the recorder journals
+	// wide events into; nil is disabled at zero cost.
+	TraceJournal = obsv.Journal
+)
+
+// SortTraceEvents orders events causally: by wall-clock time, then by the
+// journal sequence that broke the tie at emission.
+func SortTraceEvents(events []WideEvent) { obsv.SortEvents(events) }
+
+// AttributeTraceEvents assigns experiment-less events (WAL commits, storage
+// faults) to the experiment attempt whose window covers them, returning a
+// causally sorted copy.
+func AttributeTraceEvents(events []WideEvent) []WideEvent {
+	return obsv.AttributeEvents(events)
+}
+
+// FormatTraceSummary renders a per-experiment rollup of a campaign's wide
+// events.
+func FormatTraceSummary(w io.Writer, events []WideEvent) {
+	obsv.FormatTraceSummary(w, events)
+}
+
+// FormatTraceTimeline renders one experiment's causal chain — plan, attempts,
+// injections, chaos faults, retries, row durability and the WAL commit
+// batches that made its rows durable.
+func FormatTraceTimeline(w io.Writer, events []WideEvent, experiment string) error {
+	return obsv.FormatTimeline(w, events, experiment)
+}
+
+// WriteChromeTraceEvents renders wide events as a Chrome trace_event file
+// (load in chrome://tracing or Perfetto): one process lane per shard, one
+// thread lane per worker plus reserved lanes for WAL, storage and HTTP.
+func WriteChromeTraceEvents(w io.Writer, events []WideEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(obsv.ChromeTrace(events))
+}
 
 // Persisted run metrics: with a Recorder attached, every campaign run also
 // writes a time series of engine metrics (progress counters, per-phase

@@ -57,6 +57,7 @@ func finish(ops target.Operations, c Campaign, plan faultmodel.Plan, injected in
 // group span in the trace; the scan shifts inside it are the leaf phases.
 func injectScan(ops target.Operations, injs []faultmodel.Injection) error {
 	defer obsv.GroupOf(ops, "inject").End()
+	emitInject(ops, "scan", injs)
 	byChain := map[string][]faultmodel.Injection{}
 	var order []string
 	for _, inj := range injs {
@@ -87,9 +88,19 @@ func injectScan(ops target.Operations, injs []faultmodel.Injection) error {
 	return nil
 }
 
+// emitInject records the performed injection as a provenance wide event,
+// attributed to the attempt in flight via the context the runner stamped
+// onto the target stack. Disabled journals cost one branch.
+func emitInject(ops target.Operations, domain string, injs []faultmodel.Injection) {
+	if tc := target.TraceContextOf(ops); tc.Enabled() {
+		tc.Emit(obsv.EvInject, fmt.Sprintf("domain=%s injections=%d", domain, len(injs)))
+	}
+}
+
 // injectMemory applies memory-domain injections through the test-card port.
 func injectMemory(ops target.Operations, injs []faultmodel.Injection) error {
 	defer obsv.GroupOf(ops, "inject").End()
+	emitInject(ops, "memory", injs)
 	for _, inj := range injs {
 		vals, err := ops.ReadMemory(inj.Loc.Addr, 1)
 		if err != nil {

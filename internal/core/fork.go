@@ -160,6 +160,9 @@ func (w *forkWorker) run(ops target.Operations, c Campaign, plan faultmodel.Plan
 		w.r.Recorder.Count("fork.pool.fallbacks", 1)
 		return w.tech.run(ops, c, plan)
 	}
+	if tc := target.TraceContextOf(ops); tc.Enabled() {
+		tc.Emit(obsv.EvRestore, fmt.Sprintf("checkpoint=%d", id))
+	}
 	return forkSuffix(ops, c, plan)
 }
 
@@ -314,6 +317,9 @@ func (r *Runner) runForked(tech technique, locs []faultmodel.Location, logged ma
 		}
 		ft := forkFirstTime(c.Technique, plan)
 		harvest[ft] = true
+		if r.Recorder.Journal() != nil {
+			r.traceCtx(name, i, 0, 0).Emit(obsv.EvPlan, "plan="+plan.String())
+		}
 		jobs = append(jobs, forkJob{idx: i, name: name, plan: plan, firstTime: ft})
 	}
 	psp.End()
@@ -490,6 +496,9 @@ func (r *Runner) runForked(tech technique, locs []faultmodel.Location, logged ma
 				gsp.End()
 				if res.out.hung || res.out.failed {
 					res.quarantined = true
+					if r.Recorder.Journal() != nil {
+						r.traceCtx(j.name, j.idx, 0, tid).Emit(obsv.EvQuarantine, "fork worker target retired; checkpoint pool invalidated")
+					}
 					if res.out.hung && w.ops == r.ops {
 						retiredOps.Store(true)
 					}

@@ -328,14 +328,35 @@ func (r *Runner) runAttempt(ops target.Operations, run Algorithm, plan faultmode
 // engine-level spans are recorded under (0 = sequential/coordinator).
 func (r *Runner) runExperiment(ops target.Operations, run Algorithm, plan faultmodel.Plan, idx int, tid int32) runOutcome {
 	c := r.campaign
+	journal := r.Recorder.Journal()
+	var name string
+	if journal != nil {
+		name = r.experimentName(idx)
+	}
 	var out runOutcome
 	for attempt := 0; ; attempt++ {
+		var tc obsv.TraceContext
+		var began time.Time
+		if journal != nil {
+			// The context is stamped onto the target stack before the attempt
+			// launches (same ordering contract as SeedExperiment), so chaos
+			// faults injected mid-attempt attribute to this attempt.
+			tc = r.traceCtx(name, idx, attempt, tid)
+			target.ApplyTraceContext(ops, tc)
+			began = time.Now()
+		}
 		exp, err := r.runAttempt(ops, run, plan, idx, attempt)
+		if journal != nil {
+			tc.EmitSpan(obsv.EvAttempt, attemptDetail(exp, err), began)
+		}
 		if err == nil {
 			out.exp = exp
 			return out
 		}
 		if errors.Is(err, errHung) {
+			if journal != nil {
+				tc.Emit(obsv.EvHang, fmt.Sprintf("watchdog=%v", c.ExperimentTimeout))
+			}
 			out.hung = true
 			out.exp = Experiment{Plan: plan, State: &StateVector{}}
 			return out
@@ -357,8 +378,14 @@ func (r *Runner) runExperiment(ops target.Operations, run Algorithm, plan faultm
 				shift = 6 // cap the exponential curve, not the retry count
 			}
 			sp := r.Recorder.Begin(obsv.PhaseRetry, tid)
+			bstart := time.Now()
 			time.Sleep(c.RetryBackoff << shift)
 			sp.End()
+			if journal != nil {
+				tc.EmitSpan(obsv.EvRetry, fmt.Sprintf("backoff=%v cause=%v", c.RetryBackoff<<shift, err), bstart)
+			}
+		} else if journal != nil {
+			tc.Emit(obsv.EvRetry, fmt.Sprintf("cause=%v", err))
 		}
 		// Full power-up reset before the retry: a glitching target starts
 		// the next attempt from a clean slate. A transient re-init failure
@@ -367,6 +394,40 @@ func (r *Runner) runExperiment(ops target.Operations, run Algorithm, plan faultm
 			out.err = ierr
 			return out
 		}
+	}
+}
+
+// experimentName names experiment idx the way the logging stage does, so
+// trace events join against CampaignData rows by experiment name.
+func (r *Runner) experimentName(idx int) string {
+	if idx == refIndex {
+		return r.campaign.Name + RefSuffix
+	}
+	return fmt.Sprintf("%s/e%04d", r.campaign.Name, idx)
+}
+
+// traceCtx builds the provenance context for one attempt of experiment idx.
+func (r *Runner) traceCtx(name string, idx, attempt int, tid int32) obsv.TraceContext {
+	return obsv.TraceContext{
+		Rec:        r.Recorder,
+		Campaign:   r.campaign.Name,
+		Shard:      r.ShardIndex,
+		Experiment: name,
+		Index:      idx,
+		Attempt:    attempt,
+		TID:        tid,
+	}
+}
+
+// attemptDetail summarises one attempt's verdict for its wide event.
+func attemptDetail(exp Experiment, err error) string {
+	switch {
+	case err == nil:
+		return "outcome=ok term=" + exp.Term.Reason.String()
+	case errors.Is(err, errHung):
+		return "outcome=hung"
+	default:
+		return "outcome=err cause=" + err.Error()
 	}
 }
 
@@ -541,6 +602,7 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 
 	ops := r.ops
 	total := r.ownedTotal()
+	journal := r.Recorder.Journal()
 	rng := rand.New(rand.NewSource(c.Seed))
 	for i := 0; i < c.NExperiments; i++ {
 		if err := r.checkpoint(); err != nil {
@@ -571,6 +633,9 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			sum.Skipped++
 			r.Recorder.Count("experiments.skipped", 1)
 			continue
+		}
+		if journal != nil {
+			r.traceCtx(name, i, 0, 0).Emit(obsv.EvPlan, "plan="+plan.String())
 		}
 		gsp := r.Recorder.BeginGroup(name, 0)
 		out := r.runExperiment(ops, tech.run, plan, i, 0)
@@ -603,6 +668,9 @@ func (r *Runner) execute(ctx context.Context, tech technique, locs []faultmodel.
 			}
 			r.logger().Warn("experiment hung; target quarantined",
 				"campaign", c.Name, "experiment", name, "watchdog", c.ExperimentTimeout)
+			if journal != nil {
+				r.traceCtx(name, i, 0, 0).Emit(obsv.EvQuarantine, "hung target replaced")
+			}
 			ops = nops
 			sum.Quarantined++
 		}
@@ -746,6 +814,7 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	total := r.ownedTotal()
+	journal := r.Recorder.Journal()
 	psp := r.Recorder.Begin(obsv.PhasePlan, 0)
 	jobs := make([]parallelJob, 0, c.NExperiments)
 	for i := 0; i < c.NExperiments; i++ {
@@ -765,6 +834,9 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 			sum.Skipped++
 			r.Recorder.Count("experiments.skipped", 1)
 			continue
+		}
+		if journal != nil {
+			r.traceCtx(name, i, 0, 0).Emit(obsv.EvPlan, "plan="+plan.String())
 		}
 		jobs = append(jobs, parallelJob{idx: i, name: name, plan: plan})
 	}
@@ -832,6 +904,9 @@ func (r *Runner) runParallel(tech technique, locs []faultmodel.Location, logged 
 					// the whole retry budget. Retire it and continue on a
 					// fresh instance; without one, degrade the pool.
 					res.quarantined = true
+					if journal != nil {
+						r.traceCtx(j.name, j.idx, 0, tid).Emit(obsv.EvQuarantine, "target retired after hang/exhausted retries")
+					}
 					nops, err := r.mintReplacement()
 					if err != nil {
 						res.workerLost = true

@@ -169,6 +169,22 @@ CREATE TABLE IF NOT EXISTS CampaignRunMetrics (
 	PRIMARY KEY (campaignName, runId, seq),
 	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
 );
+CREATE TABLE IF NOT EXISTS ExperimentTraceEvents (
+	campaignName   TEXT NOT NULL,
+	runId          INTEGER NOT NULL,
+	seq            INTEGER NOT NULL,
+	timeNs         INTEGER NOT NULL,
+	durNs          INTEGER NOT NULL,
+	kind           TEXT NOT NULL,
+	shard          INTEGER NOT NULL,
+	experimentName TEXT,
+	expIndex       INTEGER NOT NULL,
+	attempt        INTEGER NOT NULL,
+	tid            INTEGER NOT NULL,
+	detail         TEXT,
+	PRIMARY KEY (campaignName, runId, seq),
+	FOREIGN KEY (campaignName) REFERENCES CampaignData (campaignName)
+);
 `
 
 // NewMemoryStore builds a fresh in-memory store with the schema installed.
@@ -540,7 +556,29 @@ func (s *Store) PutExperiment(e ExperimentRow) error {
 	if err != nil {
 		return fmt.Errorf("dbase: put experiment %s: %w", e.ExperimentName, err)
 	}
+	s.emitRowsDurable([]ExperimentRow{e})
 	return nil
+}
+
+// emitRowsDurable records that the store acknowledged these experiment rows,
+// one wide event per row naming the WAL commit batch (batch=N) that carried
+// it, so a timeline can tie each logged row to the fsync that made it
+// durable. Rows written by one chunked INSERT share a batch. Stores without a
+// journal (or without a WAL: batch 0, synced false) pay one branch.
+func (s *Store) emitRowsDurable(rows []ExperimentRow) {
+	j := s.rec.Journal()
+	if j == nil {
+		return
+	}
+	batch, synced := s.db.LastWALBatch()
+	for _, e := range rows {
+		j.Emit(obsv.WideEvent{
+			Kind:       obsv.EvRowDurable,
+			Campaign:   e.CampaignName,
+			Experiment: e.ExperimentName,
+			Detail:     fmt.Sprintf("batch=%d synced=%t", batch, synced),
+		})
+	}
 }
 
 // maxInsertRows caps how many rows one multi-row INSERT carries. Beyond
@@ -586,6 +624,7 @@ func (s *Store) PutExperiments(rows []ExperimentRow) error {
 			return fmt.Errorf("dbase: put %d experiments (first %s): %w",
 				len(chunk), chunk[0].ExperimentName, err)
 		}
+		s.emitRowsDurable(chunk)
 	}
 	return nil
 }
@@ -722,6 +761,7 @@ func (s *Store) DeleteCampaign(name string) error {
 	steps := []string{
 		"DELETE FROM AnalysisResult WHERE campaignName = ?",
 		"DELETE FROM CampaignRunMetrics WHERE campaignName = ?",
+		"DELETE FROM ExperimentTraceEvents WHERE campaignName = ?",
 		"DELETE FROM LoggedSystemState WHERE campaignName = ?",
 		"DELETE FROM CampaignData WHERE campaignName = ?",
 	}

@@ -43,7 +43,7 @@ func sampleCampaign(name string) CampaignRow {
 func TestSchemaInstalled(t *testing.T) {
 	s := newStore(t)
 	tables := s.DB().Tables()
-	want := []string{"TargetSystemData", "FaultLocation", "CampaignData", "LoggedSystemState", "AnalysisResult", "CampaignRunMetrics"}
+	want := []string{"TargetSystemData", "FaultLocation", "CampaignData", "LoggedSystemState", "AnalysisResult", "CampaignRunMetrics", "ExperimentTraceEvents"}
 	if len(tables) != len(want) {
 		t.Fatalf("tables = %v", tables)
 	}

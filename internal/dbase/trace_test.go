@@ -1,0 +1,147 @@
+package dbase
+
+import (
+	"testing"
+
+	"goofi/internal/obsv"
+)
+
+func sampleTraceEvents() []obsv.WideEvent {
+	return []obsv.WideEvent{
+		{Seq: 1, TimeNs: 100, Kind: obsv.EvPlan, Campaign: "c1", Experiment: "c1/e0001",
+			Index: 1, Detail: "plan=transient@10"},
+		{Seq: 2, TimeNs: 200, DurNs: 50, Kind: obsv.EvAttempt, Campaign: "c1",
+			Experiment: "c1/e0001", Index: 1, Attempt: 0, TID: 1, Detail: "outcome=ok term=detected"},
+		{Seq: 3, TimeNs: 220, Kind: obsv.EvWALCommit, TID: obsv.WALCommitTID,
+			Detail: "batch=3 records=1 bytes=64 synced=true err=false"},
+	}
+}
+
+// TestTraceEventsRoundTrip: events survive persistence field for field, with
+// NULLable experiment/detail columns handled, and come back causally sorted
+// with the runId stamped.
+func TestTraceEventsRoundTrip(t *testing.T) {
+	s := metricsStore(t, "c1")
+	want := sampleTraceEvents()
+	if err := s.PutTraceEvents("c1", 1, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TraceEvents("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		w := want[i]
+		w.RunID = 1
+		w.Campaign = "c1" // persisted under the argument campaign
+		if ev != w {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, ev, w)
+		}
+	}
+}
+
+// TestPutTraceJournal: draining a live journal assigns consecutive run ids,
+// and a nil or empty journal is a quiet no-op.
+func TestPutTraceJournal(t *testing.T) {
+	s := metricsStore(t, "c1")
+	if id, err := s.PutTraceJournal("c1", nil); err != nil || id != 0 {
+		t.Fatalf("nil journal: id=%d err=%v, want 0, nil", id, err)
+	}
+	j := obsv.NewJournal(8)
+	if id, err := s.PutTraceJournal("c1", j); err != nil || id != 0 {
+		t.Fatalf("empty journal: id=%d err=%v, want 0, nil", id, err)
+	}
+	j.Emit(obsv.WideEvent{Kind: obsv.EvPlan, Experiment: "c1/e0001"})
+	if id, err := s.PutTraceJournal("c1", j); err != nil || id != 1 {
+		t.Fatalf("first drain: id=%d err=%v, want 1, nil", id, err)
+	}
+	if id, err := s.PutTraceJournal("c1", j); err != nil || id != 2 {
+		t.Fatalf("second drain: id=%d err=%v, want 2, nil", id, err)
+	}
+	events, err := s.TraceEvents("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].RunID != 1 || events[1].RunID != 2 {
+		t.Fatalf("stored events = %+v, want one per run", events)
+	}
+}
+
+// TestTraceEventsChunked: a batch larger than one multi-row INSERT still
+// lands completely.
+func TestTraceEventsChunked(t *testing.T) {
+	s := metricsStore(t, "c1")
+	events := make([]obsv.WideEvent, maxInsertRows+7)
+	for i := range events {
+		events[i] = obsv.WideEvent{Seq: int64(i + 1), TimeNs: int64(i + 1), Kind: obsv.EvPlan}
+	}
+	if err := s.PutTraceEvents("c1", 1, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TraceEvents("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+}
+
+// TestDeleteCampaignRemovesTraceEvents: the trace table rides the campaign
+// lifecycle like every other FK-linked table.
+func TestDeleteCampaignRemovesTraceEvents(t *testing.T) {
+	s := metricsStore(t, "c1")
+	if err := s.PutTraceEvents("c1", 1, sampleTraceEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteCampaign("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign(sampleCampaign("c1")); err != nil {
+		t.Fatal(err)
+	}
+	events, err := s.TraceEvents("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("trace events survived DeleteCampaign: %+v", events)
+	}
+	if id, err := s.NextTraceRunID("c1"); err != nil || id != 1 {
+		t.Fatalf("NextTraceRunID after delete = %d, %v; want 1", id, err)
+	}
+}
+
+// TestRowDurableEmitted: a store with a journaling recorder emits one
+// row-durable event per persisted experiment row, carrying the WAL batch
+// linkage detail.
+func TestRowDurableEmitted(t *testing.T) {
+	s := metricsStore(t, "c1")
+	rec := obsv.New(obsv.Options{Journal: true})
+	s.SetRecorder(rec)
+	if err := s.PutExperiment(ExperimentRow{ExperimentName: "c1/e0001", CampaignName: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutExperiments([]ExperimentRow{
+		{ExperimentName: "c1/e0002", CampaignName: "c1"},
+		{ExperimentName: "c1/e0003", CampaignName: "c1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Journal().Events()
+	if len(events) != 3 {
+		t.Fatalf("journal has %d events, want 3 row-durable", len(events))
+	}
+	for i, want := range []string{"c1/e0001", "c1/e0002", "c1/e0003"} {
+		ev := events[i]
+		if ev.Kind != obsv.EvRowDurable || ev.Experiment != want || ev.Campaign != "c1" {
+			t.Fatalf("event %d = %+v, want row-durable for %s", i, ev, want)
+		}
+		if obsv.EventBatch(ev) != 0 {
+			t.Fatalf("non-WAL store reported a WAL batch: %+v", ev)
+		}
+	}
+}

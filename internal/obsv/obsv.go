@@ -95,16 +95,21 @@ type Options struct {
 	Trace bool
 	// TraceCap bounds the buffered trace events; 0 means DefaultTraceCap.
 	TraceCap int
+	// Journal enables the provenance wide-event journal (see journal.go).
+	Journal bool
+	// JournalCap bounds the journal ring; 0 means DefaultJournalCap.
+	JournalCap int
 }
 
 // Recorder collects metrics (always, when non-nil) and trace spans (when
 // Options.Trace). The zero value is not usable; construct with New. A nil
 // *Recorder is the disabled state: every method no-ops.
 type Recorder struct {
-	epoch  time.Time
-	reg    *Registry
-	tracer *tracer
-	phases [NumPhases]*Histogram
+	epoch   time.Time
+	reg     *Registry
+	tracer  *tracer
+	journal *Journal
+	phases  [NumPhases]*Histogram
 }
 
 // New builds a recorder. The trace epoch (ts=0 of the trace file) is the
@@ -117,7 +122,21 @@ func New(o Options) *Recorder {
 	if o.Trace {
 		r.tracer = newTracer(o.TraceCap)
 	}
+	if o.Journal {
+		r.journal = NewJournal(o.JournalCap)
+	}
 	return r
+}
+
+// Journal returns the provenance wide-event journal, or nil when journalling
+// is disabled (including on a nil recorder). Emitters branch on the returned
+// pointer before formatting any event detail, keeping the disabled path free
+// of allocations.
+func (r *Recorder) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal
 }
 
 // Registry exposes the underlying metrics registry (nil on a nil recorder).

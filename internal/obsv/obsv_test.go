@@ -103,6 +103,21 @@ func TestDisabledPathZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("disabled path allocates %.1f per op", allocs)
 	}
+	// The provenance journal keeps the invariant: no journal (or no
+	// recorder at all) means emitting wide events costs nothing — the hooks
+	// guard their fmt.Sprintf detail building behind Enabled().
+	for _, rec := range []*Recorder{nil, New(Options{})} {
+		tc := TraceContext{Rec: rec, Campaign: "c", Experiment: "c/e0001"}
+		allocs = testing.AllocsPerRun(100, func() {
+			if tc.Enabled() {
+				tc.Emit(EvPlan, "plan=never-built")
+			}
+			rec.Journal().Emit(WideEvent{Kind: EvWALCommit})
+		})
+		if allocs != 0 {
+			t.Fatalf("disabled journal path (rec=%v) allocates %.1f per op", rec, allocs)
+		}
+	}
 }
 
 // TestEnabledMetricsNoTraceZeroAlloc: with metrics on but tracing off, leaf

@@ -32,7 +32,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 // exactly once, so the writer unions the instrument names across snapshots,
 // emits each family header once, and distinguishes the per-campaign series
 // with a campaign label. The campaign service multiplexes every running
-// campaign's recorder onto its single /metrics endpoint through this.
+// campaign's recorder onto its single /metrics endpoint through this; its
+// service-level snapshot (HTTP latency, runtime gauges) travels under the
+// empty key and carries no campaign label.
 func WritePrometheusMulti(w io.Writer, snaps map[string]Snapshot) error {
 	keys := make([]string, 0, len(snaps))
 	for k := range snaps {
@@ -41,10 +43,11 @@ func WritePrometheusMulti(w io.Writer, snaps map[string]Snapshot) error {
 	sort.Strings(keys)
 	ls := make([]labeledSnapshot, 0, len(keys))
 	for _, k := range keys {
-		ls = append(ls, labeledSnapshot{
-			labels: `campaign="` + promLabelValue(k) + `"`,
-			snap:   snaps[k],
-		})
+		labels := ""
+		if k != "" {
+			labels = `campaign="` + promLabelValue(k) + `"`
+		}
+		ls = append(ls, labeledSnapshot{labels: labels, snap: snaps[k]})
 	}
 	return writePrometheus(w, ls)
 }
@@ -132,11 +135,17 @@ func writePrometheus(w io.Writer, ls []labeledSnapshot) error {
 		}
 	}
 	histNames := []string{}
+	httpNames := []string{}
 	seen := map[string]bool{}
 	for _, l := range ls {
 		for _, h := range l.snap.Histograms {
-			if !seen[h.Name] {
-				seen[h.Name] = true
+			if seen[h.Name] {
+				continue
+			}
+			seen[h.Name] = true
+			if strings.HasPrefix(h.Name, httpHistPrefix) {
+				httpNames = append(httpNames, h.Name)
+			} else {
 				histNames = append(histNames, h.Name)
 			}
 		}
@@ -153,7 +162,44 @@ func writePrometheus(w io.Writer, ls []labeledSnapshot) error {
 			}
 		}
 	}
+	if len(httpNames) > 0 {
+		sort.Strings(httpNames)
+		pw.family("goofi_http_request_duration_seconds", "histogram",
+			"Service HTTP request latency by route and status.")
+		for _, name := range httpNames {
+			route, status := splitHTTPHistName(name)
+			lbl := `route="` + promLabelValue(route) + `",status="` + promLabelValue(status) + `"`
+			for _, l := range ls {
+				for _, h := range l.snap.Histograms {
+					if h.Name == name {
+						pw.histogram("goofi_http_request_duration_seconds", joinLabels(l.labels, lbl), h)
+					}
+				}
+			}
+		}
+	}
 	return pw.err
+}
+
+// httpHistPrefix marks the per-route/status HTTP latency histograms the
+// service records ("http|<route>|<status>"). They fold into one
+// goofi_http_request_duration_seconds family with route and status labels
+// instead of mangling the route into a metric name.
+const httpHistPrefix = "http|"
+
+// HTTPHistName builds the histogram name under which one route/status pair's
+// request latencies are recorded.
+func HTTPHistName(route string, status int) string {
+	return httpHistPrefix + route + "|" + strconv.Itoa(status)
+}
+
+// splitHTTPHistName is the inverse of HTTPHistName.
+func splitHTTPHistName(name string) (route, status string) {
+	rest := strings.TrimPrefix(name, httpHistPrefix)
+	if i := strings.LastIndexByte(rest, '|'); i >= 0 {
+		return rest[:i], rest[i+1:]
+	}
+	return rest, ""
 }
 
 // unionNames collects the sorted union of one instrument map's keys across

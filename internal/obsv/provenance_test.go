@@ -1,0 +1,258 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalRing: the journal assigns monotonically increasing sequence
+// numbers, returns events in append order, and past its capacity overwrites
+// the oldest event while counting the loss.
+func TestJournalRing(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Emit(WideEvent{Kind: EvPlan, Index: i})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", j.Dropped())
+	}
+	events := j.Events()
+	for i, ev := range events {
+		if want := i + 2; ev.Index != want {
+			t.Fatalf("event %d has Index %d, want %d (oldest overwritten first)", i, ev.Index, want)
+		}
+		if i > 0 && events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("Seq not increasing: %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	if events[0].TimeNs == 0 {
+		t.Fatal("Emit did not stamp TimeNs")
+	}
+}
+
+// TestJournalNilSafe: every method of a nil journal is a no-op, matching the
+// nil-recorder contract of the rest of the package.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(WideEvent{Kind: EvPlan})
+	if j.Events() != nil || j.Len() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal is not inert")
+	}
+}
+
+// TestRecorderJournalOption: the journal exists only when asked for, and a
+// nil recorder reports none.
+func TestRecorderJournalOption(t *testing.T) {
+	if New(Options{}).Journal() != nil {
+		t.Fatal("recorder without Journal option has a journal")
+	}
+	if New(Options{Journal: true}).Journal() == nil {
+		t.Fatal("recorder with Journal option has no journal")
+	}
+	var r *Recorder
+	if r.Journal() != nil {
+		t.Fatal("nil recorder has a journal")
+	}
+}
+
+// TestTraceContext: an enabled context stamps its identity onto emitted
+// events; a disabled one (no recorder, or recorder without journal) is
+// inert.
+func TestTraceContext(t *testing.T) {
+	rec := New(Options{Journal: true})
+	tc := TraceContext{Rec: rec, Campaign: "c1", Shard: 2, Experiment: "c1/e0001",
+		Index: 1, Attempt: 3, TID: 4}
+	if !tc.Enabled() {
+		t.Fatal("context with journaling recorder not enabled")
+	}
+	tc.Emit(EvInject, "domain=scan injections=2")
+	start := time.Now().Add(-time.Millisecond)
+	tc.EmitSpan(EvAttempt, "outcome=ok", start)
+
+	events := rec.Journal().Events()
+	if len(events) != 2 {
+		t.Fatalf("journal has %d events, want 2", len(events))
+	}
+	ev := events[0]
+	if ev.Kind != EvInject || ev.Campaign != "c1" || ev.Shard != 2 ||
+		ev.Experiment != "c1/e0001" || ev.Index != 1 || ev.Attempt != 3 || ev.TID != 4 {
+		t.Fatalf("emitted event lost context: %+v", ev)
+	}
+	if sp := events[1]; sp.DurNs < int64(time.Millisecond) || sp.TimeNs != start.UnixNano() {
+		t.Fatalf("span event time/dur wrong: %+v", sp)
+	}
+
+	for _, tc := range []TraceContext{{}, {Rec: New(Options{})}} {
+		if tc.Enabled() {
+			t.Fatalf("context %+v should be disabled", tc)
+		}
+		tc.Emit(EvPlan, "x") // must not panic
+	}
+}
+
+// TestSortEvents: causal order is wall-clock time with emission sequence
+// breaking ties.
+func TestSortEvents(t *testing.T) {
+	events := []WideEvent{
+		{Seq: 3, TimeNs: 20},
+		{Seq: 2, TimeNs: 10},
+		{Seq: 1, TimeNs: 10},
+	}
+	SortEvents(events)
+	if events[0].Seq != 1 || events[1].Seq != 2 || events[2].Seq != 3 {
+		t.Fatalf("sorted order wrong: %+v", events)
+	}
+}
+
+// TestAttributeEvents: unattributed sub-experiment events inherit the
+// experiment of the attempt window they landed in; overlapping windows
+// resolve to the latest-starting one; events outside every window stay
+// unattributed.
+func TestAttributeEvents(t *testing.T) {
+	events := []WideEvent{
+		{Seq: 1, TimeNs: 100, DurNs: 100, Kind: EvAttempt, Experiment: "c/e0001", Index: 1, Attempt: 0},
+		{Seq: 2, TimeNs: 150, DurNs: 100, Kind: EvAttempt, Experiment: "c/e0002", Index: 2, Attempt: 1},
+		{Seq: 3, TimeNs: 120, Kind: EvStorageFault, TID: StorageTID},     // only e0001's window
+		{Seq: 4, TimeNs: 180, Kind: EvWALCommit, TID: WALCommitTID},      // both; latest start wins
+		{Seq: 5, TimeNs: 400, Kind: EvStorageFault, TID: StorageTID},     // no window
+		{Seq: 6, TimeNs: 130, Kind: EvRowDurable, Experiment: "c/e0009"}, // already attributed
+	}
+	AttributeEvents(events)
+	if got := events[2].Experiment; got != "c/e0001" {
+		t.Fatalf("storage fault attributed to %q, want c/e0001", got)
+	}
+	if events[3].Experiment != "c/e0002" || events[3].Attempt != 1 {
+		t.Fatalf("overlapping windows: got %q attempt %d, want latest-starting c/e0002 attempt 1",
+			events[3].Experiment, events[3].Attempt)
+	}
+	if events[4].Experiment != "" {
+		t.Fatalf("event outside every window attributed to %q", events[4].Experiment)
+	}
+	if events[5].Experiment != "c/e0009" {
+		t.Fatal("pre-attributed event was rewritten")
+	}
+}
+
+// TestEventBatch: the batch id joins row-durable and wal-commit events.
+func TestEventBatch(t *testing.T) {
+	cases := []struct {
+		detail string
+		want   int64
+	}{
+		{"batch=42 records=3 bytes=100 synced=true err=false", 42},
+		{"batch=7 synced=true", 7},
+		{"batch=9", 9},
+		{"op=3 kind=write", 0},
+		{"batch=x", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := EventBatch(WideEvent{Detail: c.detail}); got != c.want {
+			t.Fatalf("EventBatch(%q) = %d, want %d", c.detail, got, c.want)
+		}
+	}
+}
+
+// TestChromeTrace: spans become complete slices, instants become marks, and
+// lanes map shard → process, tid → thread, rebased to the earliest event.
+func TestChromeTrace(t *testing.T) {
+	base := int64(5_000_000)
+	tf := ChromeTrace([]WideEvent{
+		{TimeNs: base + 1000, DurNs: 2000, Kind: EvAttempt, Experiment: "c/e0001", Shard: 1, TID: 2},
+		{TimeNs: base, Kind: EvStorageFault, TID: StorageTID},
+	})
+	if len(tf.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(tf.TraceEvents))
+	}
+	span, mark := tf.TraceEvents[0], tf.TraceEvents[1]
+	if span.Ph != "X" || span.Dur != 2 || span.TsUs != 1 || span.Pid != 2 || span.Tid != 2 {
+		t.Fatalf("span lane wrong: %+v", span)
+	}
+	if !strings.Contains(span.Name, "c/e0001") {
+		t.Fatalf("span name %q lacks experiment", span.Name)
+	}
+	if mark.Ph != "i" || mark.TsUs != 0 || mark.Tid != StorageTID {
+		t.Fatalf("instant mark wrong: %+v", mark)
+	}
+	if empty := ChromeTrace(nil); empty.TraceEvents == nil || len(empty.TraceEvents) != 0 {
+		t.Fatal("empty input must yield an empty (non-nil) event list")
+	}
+}
+
+// retriedExperimentEvents builds the canonical causal chain the acceptance
+// scenario reconstructs: attempt 0 hits an injected chaos fault, backs off,
+// attempt 1 succeeds, the row lands in WAL batch 3.
+func retriedExperimentEvents() []WideEvent {
+	ms := int64(time.Millisecond)
+	return []WideEvent{
+		{Seq: 1, TimeNs: 0 * ms, Kind: EvPlan, Experiment: "c/e0001", Detail: "plan=transient@100"},
+		{Seq: 2, TimeNs: 1 * ms, DurNs: 2 * ms, Kind: EvAttempt, Experiment: "c/e0001", Attempt: 0,
+			Detail: "outcome=err cause=chaos"},
+		{Seq: 3, TimeNs: 2 * ms, Kind: EvChaosError, TID: 1}, // inside attempt 0's window
+		{Seq: 4, TimeNs: 3*ms + 1, DurNs: ms, Kind: EvRetry, Experiment: "c/e0001", Attempt: 0,
+			Detail: "backoff=1ms cause=chaos"},
+		{Seq: 5, TimeNs: 5 * ms, DurNs: 2 * ms, Kind: EvAttempt, Experiment: "c/e0001", Attempt: 1,
+			Detail: "outcome=ok term=detected"},
+		{Seq: 6, TimeNs: 8 * ms, Kind: EvRowDurable, Experiment: "c/e0001", Detail: "batch=3 synced=true"},
+		{Seq: 7, TimeNs: 9 * ms, DurNs: ms, Kind: EvWALCommit, TID: WALCommitTID,
+			Detail: "batch=3 records=1 bytes=64 synced=true err=false"},
+		{Seq: 8, TimeNs: 9 * ms, DurNs: ms, Kind: EvWALCommit, TID: WALCommitTID,
+			Detail: "batch=4 records=1 bytes=64 synced=true err=false"}, // other experiment's batch
+		{Seq: 9, TimeNs: 1 * ms, Kind: EvPlan, Experiment: "c/e0002", Detail: "plan=transient@200"},
+	}
+}
+
+// TestFormatTimeline: one experiment's rendered chain contains its chaos
+// fault, the retry backoff, both attempts and exactly the WAL batch that
+// committed its row.
+func TestFormatTimeline(t *testing.T) {
+	var sb strings.Builder
+	if err := FormatTimeline(&sb, retriedExperimentEvents(), "c/e0001"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		EvPlan, EvChaosError, EvRetry, "outcome=err cause=chaos",
+		"outcome=ok term=detected", "batch=3 synced=true",
+		"batch=3 records=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "batch=4") {
+		t.Fatalf("timeline includes an unrelated WAL batch:\n%s", out)
+	}
+	if strings.Contains(out, "c/e0002") {
+		t.Fatalf("timeline includes another experiment:\n%s", out)
+	}
+	if err := FormatTimeline(&sb, retriedExperimentEvents(), "c/e0099"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+// TestFormatTraceSummary: the rollup counts events, attempts and faults per
+// experiment and tallies unattributed leftovers.
+func TestFormatTraceSummary(t *testing.T) {
+	var sb strings.Builder
+	FormatTraceSummary(&sb, retriedExperimentEvents())
+	out := sb.String()
+	if !strings.Contains(out, "c/e0001") || !strings.Contains(out, "c/e0002") {
+		t.Fatalf("summary lacks experiments:\n%s", out)
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "c/e0001") {
+			line = l
+		}
+	}
+	// 5 own events + the attributed chaos error; 2 attempts; 1 fault.
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[1] != "6" || fields[2] != "2" || fields[3] != "1" {
+		t.Fatalf("c/e0001 rollup = %q, want events=6 attempts=2 faults=1", line)
+	}
+}

@@ -64,7 +64,7 @@ func TestBroadcasterClose(t *testing.T) {
 	ch, _ := b.Subscribe(2)
 	b.Publish(CampaignEvent{Seq: 1})
 	b.Close()
-	b.Close() // idempotent
+	b.Close()                        // idempotent
 	b.Publish(CampaignEvent{Seq: 2}) // after close: dropped silently
 
 	if ev, ok := <-ch; !ok || ev.Seq != 1 {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -110,6 +111,14 @@ type Server struct {
 	stop      chan struct{}
 	schedDone chan struct{}
 	wg        sync.WaitGroup
+
+	// handler is the HTTP mux, built once at New — rebuilding per request
+	// would re-register every route on every call.
+	handler http.Handler
+	// httpRec records service-level metrics: per-route/status request
+	// latency histograms and process runtime gauges, folded into the
+	// /metrics exposition without a campaign label.
+	httpRec *obsv.Recorder
 }
 
 // New builds a server over its data directory, re-enqueues any campaigns a
@@ -150,7 +159,9 @@ func New(opts Options) (*Server, error) {
 		wake:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		schedDone: make(chan struct{}),
+		httpRec:   obsv.New(obsv.Options{}),
 	}
+	s.handler = s.buildHandler()
 	if err := s.loadQueue(); err != nil {
 		return nil, err
 	}
@@ -175,7 +186,7 @@ func (s *Server) Submit(spec Spec) (Status, error) {
 		status: StatusQueued,
 		done:   make(chan struct{}),
 		events: obsv.NewBroadcaster(),
-		rec:    obsv.New(obsv.Options{}),
+		rec:    obsv.New(obsv.Options{Journal: true}),
 	}
 	id := spec.ID()
 
@@ -520,6 +531,13 @@ func (s *Server) runCampaign(ctx context.Context, j *job) (core.Summary, error) 
 		sum, err = r.Run(ctx)
 	}
 
+	// Drain the provenance journal into the tenant store before saving. One
+	// drain covers sharded runs too: every shard runner records into j.rec,
+	// so the journal already holds the shard-merged event stream.
+	if _, derr := store.PutTraceJournal(j.spec.Campaign, j.rec.Journal()); derr != nil && err == nil {
+		err = derr
+	}
+
 	// Whatever happened, persist what the store holds: an interrupted
 	// campaign's rows are exactly what resume needs.
 	if serr := store.Save(); serr != nil && err == nil {
@@ -628,7 +646,7 @@ func (s *Server) loadQueue() error {
 			status: StatusQueued,
 			done:   make(chan struct{}),
 			events: obsv.NewBroadcaster(),
-			rec:    obsv.New(obsv.Options{}),
+			rec:    obsv.New(obsv.Options{Journal: true}),
 		}
 		s.jobs[spec.ID()] = j
 		s.order = append(s.order, spec.ID())

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"goofi/internal/obsv"
 	"goofi/internal/vfs"
@@ -47,6 +48,11 @@ type DB struct {
 	// WAL state; wal is nil outside WAL mode and immutable once set.
 	wal     *wal
 	walOpts WALOptions
+	// lastWALBatch is the most recent commit batch acknowledged to this DB's
+	// callers, and lastWALSynced whether that batch ended in an fsync —
+	// provenance for "which group commit made my row durable".
+	lastWALBatch  atomic.Int64
+	lastWALSynced atomic.Bool
 	// ckptMu serialises checkpoints (explicit and size-triggered).
 	ckptMu sync.Mutex
 }
@@ -99,18 +105,29 @@ func (db *DB) exec(query string, args []Value, logWAL bool) (Result, error) {
 	res, mutated, err := db.execStmtLocked(st, args, query)
 	// Enqueue under mu so WAL order matches execution order; wait for the
 	// group commit after unlocking so concurrent committers coalesce.
-	var ack chan error
+	var ack chan walAck
 	if err == nil && mutated && logWAL && db.wal != nil {
 		ack = db.wal.append(query, args)
 	}
 	db.mu.Unlock()
 	if ack != nil {
-		if werr := <-ack; werr != nil {
-			return res, werr
+		a := <-ack
+		if a.err != nil {
+			return res, a.err
 		}
+		db.lastWALBatch.Store(a.batch)
+		db.lastWALSynced.Store(a.synced)
 		db.maybeAutoCheckpoint()
 	}
 	return res, err
+}
+
+// LastWALBatch reports the WAL group-commit batch that acknowledged this DB's
+// most recent logged statement, and whether that batch was fsynced before the
+// acknowledgement. Zero batch means no statement has been WAL-committed (or
+// the DB runs without a WAL).
+func (db *DB) LastWALBatch() (batch int64, synced bool) {
+	return db.lastWALBatch.Load(), db.lastWALSynced.Load()
 }
 
 // execStmtLocked dispatches a parsed statement under db.mu and reports

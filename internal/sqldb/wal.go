@@ -99,9 +99,21 @@ type WALStats struct {
 	Generation uint64
 }
 
+// walAck is the committer's acknowledgement of one appended record: which
+// commit batch made it durable, whether that batch ended in an fsync (false
+// under a deferred sync policy), and the batch's write error if any. The
+// batch id is what provenance tracing joins on — a row's wide event names the
+// batch that carried it, and the batch's own wal-commit event carries the
+// record/byte/sync detail.
+type walAck struct {
+	batch  int64
+	synced bool
+	err    error
+}
+
 // walWaiter is one committer blocked in a ticket until its record's batch is
 // acknowledged.
-type walWaiter struct{ ch chan error }
+type walWaiter struct{ ch chan walAck }
 
 // walReset is a checkpoint's request to discard the log and start a new
 // generation. It is processed by the committer goroutine, which owns the file.
@@ -137,7 +149,7 @@ type wal struct {
 
 	// Committer-owned state.
 	f          vfs.File
-	fileEnd    int64     // logical end of the log: offset just past the last durable-intent byte
+	fileEnd    int64 // logical end of the log: offset just past the last durable-intent byte
 	generation uint64
 	unsynced   int       // commit batches since the last fsync
 	lastSync   time.Time // of the last fsync
@@ -456,15 +468,15 @@ func openWAL(fsys vfs.FS, path string, gen uint64, opts WALOptions, apply func(s
 
 // append enqueues one framed record for group commit, preserving the caller's
 // position in the execution order (callers hold the DB lock while enqueuing).
-// The returned channel delivers exactly one error once the record is
-// acknowledged per the sync policy.
-func (w *wal) append(sql string, args []Value) chan error {
-	ch := make(chan error, 1)
+// The returned channel delivers exactly one acknowledgement once the record's
+// batch commits per the sync policy.
+func (w *wal) append(sql string, args []Value) chan walAck {
+	ch := make(chan walAck, 1)
 	w.mu.Lock()
 	if w.failed != nil {
 		err := w.failed
 		w.mu.Unlock()
-		ch <- err
+		ch <- walAck{err: err}
 		return ch
 	}
 	before := len(w.pending)
@@ -592,7 +604,7 @@ func (w *wal) commit(final bool) (deferred bool) {
 		// wrote: acknowledge them without touching the file, then restart
 		// the log at the new generation.
 		for _, wt := range waiters {
-			wt.ch <- nil
+			wt.ch <- walAck{batch: w.batches.Load(), synced: true}
 		}
 		gen := resets[len(resets)-1].gen
 		err := w.resetFile(gen)
@@ -612,6 +624,11 @@ func (w *wal) commit(final bool) (deferred bool) {
 		return false
 	}
 
+	journal := rec.Journal()
+	var began time.Time
+	if journal != nil {
+		began = time.Now()
+	}
 	sp := rec.Begin(obsv.PhaseWALAppend, walCommitTID)
 	err := w.retryTransient(rec, func() error {
 		_, werr := w.f.Write(buf)
@@ -628,7 +645,7 @@ func (w *wal) commit(final bool) (deferred bool) {
 	if err == nil {
 		w.fileEnd += int64(len(buf))
 	}
-	w.batches.Add(1)
+	batch := w.batches.Add(1)
 	w.unsynced++
 	doSync := err == nil &&
 		(final || w.opts.SyncEvery <= 1 || w.unsynced >= w.opts.SyncEvery ||
@@ -648,8 +665,20 @@ func (w *wal) commit(final bool) (deferred bool) {
 	} else {
 		w.fail(err)
 	}
+	if journal != nil {
+		// One wide event per group-commit round: rows acknowledged by this
+		// batch name it (batch=N in their row-durable events), so a timeline
+		// can show which fsync made each row durable.
+		journal.Emit(obsv.WideEvent{
+			Kind:   obsv.EvWALCommit,
+			TID:    obsv.WALCommitTID,
+			TimeNs: began.UnixNano(),
+			DurNs:  time.Since(began).Nanoseconds(),
+			Detail: fmt.Sprintf("batch=%d records=%d bytes=%d synced=%t err=%t", batch, len(waiters), len(buf), doSync, err != nil),
+		})
+	}
 	for _, wt := range waiters {
-		wt.ch <- err
+		wt.ch <- walAck{batch: batch, synced: doSync && err == nil, err: err}
 	}
 	return err == nil && !doSync
 }
@@ -739,7 +768,7 @@ func (w *wal) fail(err error) {
 	failed := w.failed
 	w.mu.Unlock()
 	for _, wt := range waiters {
-		wt.ch <- failed
+		wt.ch <- walAck{err: failed}
 	}
 	for _, rq := range resets {
 		rq.reply <- failed

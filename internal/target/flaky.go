@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goofi/internal/obsv"
 	"goofi/internal/scan"
 )
 
@@ -127,6 +128,7 @@ type Flaky struct {
 	Operations
 	cfg FlakyConfig
 	rng *rand.Rand
+	tc  obsv.TraceContext
 
 	errors atomic.Int64
 	panics atomic.Int64
@@ -170,6 +172,19 @@ func (f *Flaky) SeedExperiment(campaignSeed int64, experiment, attempt int) {
 	f.rng = rand.New(rand.NewSource(mixSeed(f.cfg.Seed, campaignSeed, experiment, attempt)))
 }
 
+// SetTraceContext stores the attempt's provenance context so injected chaos
+// faults are attributed to the attempt they hit (TraceContextSetter). Set by
+// the runner before each attempt, like SeedExperiment.
+func (f *Flaky) SetTraceContext(tc obsv.TraceContext) {
+	f.tc = tc
+	if s, ok := f.Operations.(TraceContextSetter); ok {
+		s.SetTraceContext(tc)
+	}
+}
+
+// ObsvTraceContext returns the attempt context (TraceContextCarrier).
+func (f *Flaky) ObsvTraceContext() obsv.TraceContext { return f.tc }
+
 // Counts reports how many faults have been injected so far.
 func (f *Flaky) Counts() FlakyCounts {
 	return FlakyCounts{Errors: f.errors.Load(), Panics: f.panics.Load(), Hangs: f.hangs.Load()}
@@ -180,10 +195,18 @@ func (f *Flaky) Counts() FlakyCounts {
 func (f *Flaky) chaos(op string) error {
 	if f.cfg.PanicRate > 0 && f.rng.Float64() < f.cfg.PanicRate {
 		f.panics.Add(1)
+		if f.tc.Enabled() {
+			f.tc.Emit(obsv.EvChaosPanic, "op="+op)
+		}
 		panic(fmt.Sprintf("flaky: injected panic in %s", op))
 	}
 	if f.cfg.HangRate > 0 && f.rng.Float64() < f.cfg.HangRate {
 		f.hangs.Add(1)
+		// Emitted before the block so the event lands inside the attempt's
+		// window even when the watchdog abandons the hung goroutine.
+		if f.tc.Enabled() {
+			f.tc.Emit(obsv.EvChaosHang, fmt.Sprintf("op=%s hangdur=%v", op, f.cfg.HangDuration))
+		}
 		if f.cfg.HangDuration <= 0 {
 			select {} // block forever; only the campaign watchdog can move on
 		}
@@ -192,6 +215,9 @@ func (f *Flaky) chaos(op string) error {
 	}
 	if f.cfg.ErrorRate > 0 && f.rng.Float64() < f.cfg.ErrorRate {
 		f.errors.Add(1)
+		if f.tc.Enabled() {
+			f.tc.Emit(obsv.EvChaosError, "op="+op)
+		}
 		return Transient(fmt.Errorf("flaky: injected %s error", op))
 	}
 	return nil

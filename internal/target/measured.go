@@ -31,6 +31,7 @@ type Measured struct {
 	Operations
 	rec *obsv.Recorder
 	tid atomic.Int32
+	tc  obsv.TraceContext
 }
 
 // NewMeasured wraps inner, recording into rec (nil rec is allowed and makes
@@ -252,3 +253,16 @@ func (m *Measured) SeedExperiment(campaignSeed int64, experiment, attempt int) {
 		es.SeedExperiment(campaignSeed, experiment, attempt)
 	}
 }
+
+// SetTraceContext stores the attempt's provenance context and forwards it
+// inward (TraceContextSetter). Like SeedExperiment, the runner calls this
+// before launching the attempt, so a plain field is race-free.
+func (m *Measured) SetTraceContext(tc obsv.TraceContext) {
+	m.tc = tc
+	if s, ok := m.Operations.(TraceContextSetter); ok {
+		s.SetTraceContext(tc)
+	}
+}
+
+// ObsvTraceContext returns the attempt context (TraceContextCarrier).
+func (m *Measured) ObsvTraceContext() obsv.TraceContext { return m.tc }

@@ -434,6 +434,16 @@ func (f *Faulty) inject(op uint64, kind FaultKind) error {
 		rec.Count("vfs.errors.injected", 1)
 	}
 	f.mu.Unlock()
+	if j := rec.Journal(); j != nil {
+		// Storage faults fire below the experiment layer, so the event carries
+		// no experiment name; render-time attribution (obsv.AttributeEvents)
+		// assigns it to whichever attempt was in flight.
+		j.Emit(obsv.WideEvent{
+			Kind:   obsv.EvStorageFault,
+			TID:    obsv.StorageTID,
+			Detail: fmt.Sprintf("op=%d kind=%s", op, kind),
+		})
+	}
 	if kind == FaultLie {
 		return nil
 	}

@@ -71,9 +71,9 @@ func (OS) Create(name string) (File, error) { return os.Create(name) }
 func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (OS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
-func (OS) Remove(name string) error                 { return os.Remove(name) }
-func (OS) ReadFile(name string) ([]byte, error)     { return os.ReadFile(name) }
+func (OS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                   { return os.Remove(name) }
+func (OS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
 func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
 
 // tempCounter seeds CreateTemp name generation; a process-wide counter keeps

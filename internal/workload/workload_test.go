@@ -39,7 +39,7 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	cases := []Spec{
 		{},
 		{Name: "x"},
-		{Name: "x", Source: "NOP"},                // non-terminating, no iterations
+		{Name: "x", Source: "NOP"}, // non-terminating, no iterations
 		{Name: "x", Source: "NOP", MaxCycles: 10}, // non-terminating, no iterations
 		{Name: "", Source: "NOP", TerminatesSelf: true, MaxCycles: 1},
 	}
